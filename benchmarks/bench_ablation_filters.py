@@ -1,0 +1,41 @@
+"""Ablation: PartSJ filter variants, including the published window.
+
+Measures candidates, results, and runtime for every combination of
+matching semantics (paper / safe) and postorder window (paper / safe /
+off) against the REL ground truth.  This is the benchmark behind
+EXPERIMENTS.md finding F1: configurations using the published window
+``Delta' = tau - floor(k/2)`` can return *fewer* results than REL.
+"""
+
+from repro.bench.experiments import run_ablation_filters
+from repro.bench.reporting import format_table
+
+from conftest import save_and_print
+
+
+def test_ablation_filters(benchmark, scale, results_dir):
+    cells = benchmark.pedantic(
+        lambda: run_ablation_filters(scale=scale),
+        rounds=1, iterations=1,
+    )
+    rel = next(c for c in cells if c.method == "REL")
+    rows = []
+    for cell in cells:
+        rows.append([
+            cell.method,
+            cell.candidates,
+            cell.results,
+            f"{cell.total_time:.3f}",
+            "exact" if cell.results == rel.results else
+            f"MISSING {rel.results - cell.results}",
+        ])
+        assert cell.results <= rel.results
+    table = format_table(
+        ["variant", "candidates", "results", "total (s)", "vs ground truth"],
+        rows,
+    )
+    text = (
+        f"== Ablation: filter variants (scale={scale.name}, "
+        f"n={scale.ablation_count}, tau={scale.sens_tau}) ==\n{table}\n"
+    )
+    save_and_print(results_dir, "ablation_filters", scale, text)

@@ -1,0 +1,52 @@
+"""Figures 10 & 11: runtime and candidate counts vs the TED threshold tau.
+
+One benchmark per dataset; each executes the STR / SET / PRT / REL series
+over the scale's tau grid, records the total wall time as the benchmark
+value, and prints + saves the paper-style tables (runtime split and
+candidate counts).
+
+Paper shapes being reproduced:
+- PRT is the fastest method at every tau, with the largest gap at tau=1;
+- STR's bar is dominated by candidate generation (full string DP);
+- SET's bar is dominated by TED verification;
+- candidates: REL <= STR <= PRT << SET as tau grows.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig10_11
+from repro.bench.reporting import candidates_table, render_figure, runtime_table
+
+from conftest import save_and_print
+
+DATASETS = ("swissprot", "treebank", "sentiment", "synthetic")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig10_11(benchmark, dataset, scale, results_dir):
+    cells = benchmark.pedantic(
+        lambda: run_fig10_11(scale=scale, datasets=[dataset]),
+        rounds=1, iterations=1,
+    )
+    text = render_figure(
+        f"Figure 10/11 [{dataset}] runtime & candidates vs tau "
+        f"(scale={scale.name}, n={scale.join_count})",
+        cells,
+    )
+    save_and_print(results_dir, f"fig10_11_{dataset}", scale, text)
+
+    # Integrity: every method returns the same join result per tau.
+    for tau in scale.taus:
+        counts = {c.results for c in cells if c.x_value == tau}
+        assert len(counts) == 1, f"methods disagree at tau={tau}: {counts}"
+    # Shape check: PRT beats the paper-faithful STR at the smallest tau.
+    tau0 = scale.taus[0]
+    str_time = next(
+        c.total_time for c in cells if c.method == "STR" and c.x_value == tau0
+    )
+    prt_time = next(
+        c.total_time for c in cells if c.method == "PRT" and c.x_value == tau0
+    )
+    assert prt_time < str_time, (
+        f"expected PRT < STR at tau={tau0}: prt={prt_time:.2f}s str={str_time:.2f}s"
+    )

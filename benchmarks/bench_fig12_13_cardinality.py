@@ -1,0 +1,42 @@
+"""Figures 12 & 13: runtime and candidate counts vs dataset cardinality.
+
+Fixed tau (3 in the paper; the scale's ``card_tau``), prefix subsets of one
+generated collection per dataset — mirroring the paper's 20K..100K subset
+sweeps at reproduction scale.
+
+Paper shapes: every method grows with cardinality; the method ranking is
+insensitive to collection size; PRT's candidates track REL more closely
+than SET's.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig12_13
+from repro.bench.reporting import render_figure
+
+from conftest import save_and_print
+
+DATASETS = ("swissprot", "treebank", "sentiment", "synthetic")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig12_13(benchmark, dataset, scale, results_dir):
+    cells = benchmark.pedantic(
+        lambda: run_fig12_13(scale=scale, datasets=[dataset]),
+        rounds=1, iterations=1,
+    )
+    text = render_figure(
+        f"Figure 12/13 [{dataset}] runtime & candidates vs cardinality "
+        f"(scale={scale.name}, tau={scale.card_tau})",
+        cells,
+    )
+    save_and_print(results_dir, f"fig12_13_{dataset}", scale, text)
+
+    for count in scale.cardinalities:
+        counts = {c.results for c in cells if c.x_value == count}
+        assert len(counts) == 1, f"methods disagree at n={count}: {counts}"
+    # Monotonicity: more trees, at least as many results.
+    rel = [c for c in cells if c.method == "REL"]
+    rel.sort(key=lambda c: c.x_value)
+    results = [c.results for c in rel]
+    assert results == sorted(results)

@@ -1,0 +1,49 @@
+"""Figure 14: sensitivity to the synthetic generator's parameters (Table 1).
+
+Four benchmarks — fanout f, depth d, label count l, average tree size t —
+each sweeping one knob over the scale's grid with the others at their
+defaults (3 / 5 / 20 / 80), at fixed tau.
+
+Paper shapes: PRT wins in all settings; SET is the method most sensitive
+to the label count (small alphabets make binary branches collide); the
+runtime of all methods drops as the average tree size grows (the size
+filter prunes more pairs).
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig14
+from repro.bench.reporting import render_figure
+
+from conftest import save_and_print
+
+PANELS = [
+    ("fanout", "a,b"),
+    ("depth", "c,d"),
+    ("labels", "e,f"),
+    ("tree_size", "g,h"),
+]
+
+
+@pytest.mark.parametrize("parameter,panel", PANELS)
+def test_fig14(benchmark, parameter, panel, scale, results_dir):
+    cells = benchmark.pedantic(
+        lambda: run_fig14(parameter, scale=scale),
+        rounds=1, iterations=1,
+    )
+    text = render_figure(
+        f"Figure 14({panel}) sensitivity to {parameter} "
+        f"(scale={scale.name}, tau={scale.sens_tau})",
+        cells,
+    )
+    save_and_print(results_dir, f"fig14_{parameter}", scale, text)
+
+    values = getattr(scale, {
+        "fanout": "fanouts",
+        "depth": "depths",
+        "labels": "label_counts",
+        "tree_size": "tree_sizes",
+    }[parameter])
+    for value in values:
+        counts = {c.results for c in cells if c.x_value == value}
+        assert len(counts) == 1, f"methods disagree at {parameter}={value}"

@@ -1,0 +1,47 @@
+"""Microbenchmarks: TED lower-bound filters (throughput and pruning power).
+
+Measures the per-pair cost of each filter used by the baseline joins and
+prints its pruning power on a clustered workload — the cost/selectivity
+trade-off behind the method rankings in Figures 10/11.
+"""
+
+import itertools
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticParams, generate_forest
+from repro.ted.bounds import (
+    binary_branch_lower_bound,
+    degree_histogram_lower_bound,
+    label_multiset_lower_bound,
+    size_lower_bound,
+    traversal_string_lower_bound,
+)
+
+BOUNDS = [
+    ("size", size_lower_bound),
+    ("labels", label_multiset_lower_bound),
+    ("degrees", degree_histogram_lower_bound),
+    ("traversal", traversal_string_lower_bound),
+    ("binary_branch", binary_branch_lower_bound),
+]
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    forest = generate_forest(
+        16, SyntheticParams(avg_size=50, cluster_size=4), seed=31
+    )
+    return list(itertools.combinations(forest, 2))
+
+
+@pytest.mark.parametrize("name,bound", BOUNDS)
+def test_bound_throughput(benchmark, name, bound, pairs):
+    tau = 2
+
+    def run():
+        return sum(1 for t1, t2 in pairs if bound(t1, t2) > tau)
+
+    pruned = benchmark(run)
+    print(f"\n[{name}] prunes {pruned}/{len(pairs)} pairs at tau={tau}")
+    assert 0 <= pruned <= len(pairs)

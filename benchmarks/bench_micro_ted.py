@@ -1,0 +1,46 @@
+"""Microbenchmarks: TED algorithms on characteristic tree shapes.
+
+Not a paper figure — engineering benchmarks for the verification kernel
+that every join method shares.  The adversarial comb shape demonstrates
+why the shape-adaptive hybrid (our RTED stand-in) matters: plain
+Zhang–Shasha degrades on leaf-first combs while the hybrid stays flat.
+"""
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticParams, generate_forest
+from repro.ted.rted import ted_hybrid
+from repro.ted.zhang_shasha import zhang_shasha
+from repro.tree.node import Tree
+
+
+def make_leaf_first_comb(depth: int) -> Tree:
+    """Children ordered (leaf, subtree): adversarial for plain ZS."""
+    text = "{a{l}" * depth + "{a}" + "}" * depth
+    return Tree.from_bracket(text)
+
+
+def make_random_pair(seed: int):
+    params = SyntheticParams(avg_size=60, decay=0.1, cluster_size=2)
+    forest = generate_forest(2, params, seed=seed)
+    return forest[0], forest[1]
+
+
+@pytest.mark.parametrize("algorithm,impl", [
+    ("zhang_shasha", zhang_shasha),
+    ("hybrid", ted_hybrid),
+])
+def test_ted_random_trees(benchmark, algorithm, impl):
+    t1, t2 = make_random_pair(17)
+    distance = benchmark(impl, t1, t2)
+    assert distance == zhang_shasha(t1, t2)
+
+
+@pytest.mark.parametrize("algorithm,impl", [
+    ("zhang_shasha", zhang_shasha),
+    ("hybrid", ted_hybrid),
+])
+def test_ted_adversarial_comb(benchmark, algorithm, impl):
+    comb = make_leaf_first_comb(40)
+    distance = benchmark(impl, comb, comb)
+    assert distance == 0

@@ -1,0 +1,45 @@
+"""Benchmark configuration.
+
+``pytest benchmarks/ --benchmark-only`` reproduces every figure of the
+paper's evaluation.  The workload scale defaults to ``smoke`` here (a few
+minutes total); export ``REPRO_BENCH_SCALE=small`` or ``medium`` for the
+fuller grids (see ``repro.bench.experiments.SCALES``).
+
+Every figure benchmark prints its paper-style tables and also writes them
+to ``benchmarks/results/<experiment>_<scale>.txt`` so the numbers quoted in
+EXPERIMENTS.md can be regenerated.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import get_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Benchmarks default to the smoke scale so a full `pytest benchmarks/`
+# pass stays in the minutes range; the env var still wins.
+os.environ.setdefault("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: Path, name: str, scale, text: str) -> None:
+    """Echo a rendered figure and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    path = results_dir / f"{name}_{scale.name}.txt"
+    path.write_text(text, encoding="utf-8")

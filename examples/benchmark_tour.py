@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""A guided tour of the paper's evaluation at miniature scale.
+
+Runs a shrunken version of each experiment family from Section 4 and
+prints the same tables the full benchmark suite produces, so you can see
+the paper's claims take shape in under a minute:
+
+- runtime and candidates vs tau (Figures 10/11);
+- the MaxMinSize-vs-random partitioning ablation (Section 4.3);
+- the filter-variant ablation documenting the published window's false
+  negatives (EXPERIMENTS.md finding F1).
+
+For the real grids use ``pytest benchmarks/ --benchmark-only`` or
+``python -m repro experiment fig10 --scale small``.
+
+Run with::
+
+    python examples/benchmark_tour.py
+"""
+
+from repro.bench.experiments import (
+    Scale,
+    run_ablation_filters,
+    run_ablation_partitioning,
+    run_fig10_11,
+)
+from repro.bench.reporting import format_table, render_figure
+
+MINI = Scale(
+    name="mini",
+    join_count=60,
+    taus=(1, 2),
+    cardinalities=(30, 60),
+    card_tau=2,
+    sens_count=40,
+    sens_tau=2,
+    fanouts=(2, 4),
+    depths=(4, 6),
+    label_counts=(5, 20),
+    tree_sizes=(30, 60),
+    ablation_count=60,
+    datasets=("sentiment",),
+)
+
+
+def main() -> None:
+    print("1. Figures 10/11 (sentiment-like, 60 trees) ...")
+    cells = run_fig10_11(scale=MINI)
+    print(render_figure("runtime & candidates vs tau (miniature)", cells))
+
+    print("2. Partitioning ablation ...")
+    cells = run_ablation_partitioning(scale=MINI)
+    rows = [
+        [c.x_value, c.method, f"{c.total_time:.3f}", c.candidates, c.results]
+        for c in cells
+    ]
+    print(format_table(["tau", "variant", "total (s)", "candidates",
+                        "results"], rows))
+
+    print("\n3. Filter-variant ablation (the published window may miss) ...")
+    cells = run_ablation_filters(scale=MINI)
+    rows = [
+        [c.method, c.candidates, c.results] for c in cells
+    ]
+    print(format_table(["variant", "candidates", "results"], rows))
+
+    rel = next(c for c in cells if c.method == "REL")
+    missing = [
+        c.method for c in cells
+        if c.method != "REL" and c.results < rel.results
+    ]
+    if missing:
+        print(f"\n-> variants that LOST results on this workload: {missing}")
+    else:
+        print("\n-> no variant lost results on this workload (it happens "
+              "on specific edit patterns; see EXPERIMENTS.md finding F1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Metadata lives in setup.cfg; this stub exists so the legacy editable
+install path (`pip install -e .` without PEP 517 build isolation, or
+`python setup.py develop`) works in offline environments that lack the
+`wheel` package.
+"""
+from setuptools import setup
+
+setup()

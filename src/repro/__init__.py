@@ -1,0 +1,111 @@
+"""repro: a reproduction of *Scaling Similarity Joins over Tree-Structured
+Data* (Tang, Cai, Mamoulis; VLDB 2015).
+
+The package implements the paper's PartSJ partition-based tree similarity
+join, the tree edit distance (TED) stack it verifies with, the STR/SET
+baselines it is evaluated against, dataset generators mirroring the paper's
+workloads, and a benchmark harness regenerating every figure of its
+evaluation section.
+
+Quick start::
+
+    from repro import Tree, similarity_join, ted
+
+    trees = [Tree.from_bracket(line) for line in open("forest.trees")]
+    result = similarity_join(trees, tau=2)          # PartSJ (the paper's PRT)
+    for pair in result.pairs:
+        print(pair.i, pair.j, pair.distance)
+    print(result.stats.summary())
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction
+results, including two filter-correctness findings about the published
+pruning scheme.
+"""
+
+from repro.api import JOIN_METHODS, similarity_join
+from repro.baselines import (
+    JoinPair,
+    JoinResult,
+    JoinStats,
+    histogram_join,
+    nested_loop_join,
+    set_join,
+    str_join,
+)
+from repro.core import (
+    InvertedSizeIndex,
+    MatchSemantics,
+    PartSJConfig,
+    PostorderFilter,
+    partsj_join,
+)
+from repro.datasets import (
+    SyntheticParams,
+    TreeGenerator,
+    generate_forest,
+    load_trees,
+    save_trees,
+    sentiment_like,
+    swissprot_like,
+    treebank_like,
+)
+from repro.errors import (
+    EditOperationError,
+    InvalidParameterError,
+    NotPartitionableError,
+    ReproError,
+    TreeFormatError,
+)
+from repro.rsjoin import similarity_join_rs
+from repro.search import SearchHit, SimilaritySearcher, similarity_search
+from repro.ted import ted, ted_within
+from repro.tree import Tree, TreeNode, collection_stats, tree_stats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # data model
+    "Tree",
+    "TreeNode",
+    "tree_stats",
+    "collection_stats",
+    # distances
+    "ted",
+    "ted_within",
+    # joins
+    "similarity_join",
+    "similarity_join_rs",
+    "JOIN_METHODS",
+    "partsj_join",
+    "PartSJConfig",
+    "MatchSemantics",
+    "PostorderFilter",
+    "InvertedSizeIndex",
+    "nested_loop_join",
+    "str_join",
+    "set_join",
+    "histogram_join",
+    "JoinPair",
+    "JoinResult",
+    "JoinStats",
+    # search
+    "similarity_search",
+    "SimilaritySearcher",
+    "SearchHit",
+    # datasets
+    "SyntheticParams",
+    "TreeGenerator",
+    "generate_forest",
+    "swissprot_like",
+    "treebank_like",
+    "sentiment_like",
+    "save_trees",
+    "load_trees",
+    # errors
+    "ReproError",
+    "TreeFormatError",
+    "InvalidParameterError",
+    "EditOperationError",
+    "NotPartitionableError",
+]

@@ -1,0 +1,90 @@
+"""Top-level convenience API: one entry point for every join method.
+
+``similarity_join(trees, tau, method=...)`` dispatches to the method
+registry; library users who just want "the fast one" can ignore everything
+else and call it with the defaults (PartSJ with the provably-exact filter
+configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.baselines.common import JoinResult
+from repro.baselines.histogram_join import histogram_join
+from repro.baselines.nested_loop import nested_loop_join
+from repro.baselines.set_join import set_join
+from repro.baselines.str_join import str_join
+from repro.core.join import PartSJConfig, partsj_join
+from repro.errors import InvalidParameterError
+from repro.tree.node import Tree
+
+__all__ = ["similarity_join", "JOIN_METHODS"]
+
+
+def _partsj(trees: Sequence[Tree], tau: int, **options) -> JoinResult:
+    config = options.pop("config", None)
+    if options and config is not None:
+        raise InvalidParameterError(
+            "pass either a PartSJConfig via config= or individual options, not both"
+        )
+    if config is None:
+        config = PartSJConfig(**options) if options else None
+    return partsj_join(trees, tau, config)
+
+
+def _nested_loop(trees: Sequence[Tree], tau: int, **options) -> JoinResult:
+    return nested_loop_join(trees, tau, **options)
+
+
+JOIN_METHODS: dict[str, Callable[..., JoinResult]] = {
+    "partsj": _partsj,  # the paper's PRT
+    "prt": _partsj,  # figure-series alias
+    "str": lambda trees, tau, **o: str_join(trees, tau, **o),
+    "set": lambda trees, tau, **o: set_join(trees, tau),
+    "histogram": lambda trees, tau, **o: histogram_join(trees, tau),
+    "nested_loop": _nested_loop,  # ground truth (REL)
+    "rel": _nested_loop,
+}
+
+
+def similarity_join(
+    trees: Sequence[Tree],
+    tau: int,
+    method: str = "partsj",
+    **options,
+) -> JoinResult:
+    """Similarity self-join: all pairs with ``TED <= tau``.
+
+    Parameters
+    ----------
+    trees:
+        The collection.  Result pairs are ``(i, j, distance)`` with
+        ``i < j`` indexing into this sequence.
+    tau:
+        The TED threshold (>= 0).
+    method:
+        ``"partsj"`` (default), ``"str"``, ``"set"``, ``"histogram"``, or
+        ``"nested_loop"``.  All methods return the identical result set;
+        they differ in filtering strategy and therefore speed.
+    options:
+        Method-specific options, e.g. ``config=PartSJConfig.paper()`` or
+        ``semantics="paper"`` for PartSJ, ``use_bounds=False`` for the
+        nested loop.
+
+    >>> trees = [Tree.from_bracket(s) for s in ("{a{b}{c}}", "{a{b}}", "{x{y}}")]
+    >>> sorted(p.key() for p in similarity_join(trees, 1))
+    [(0, 1)]
+    """
+    try:
+        impl = JOIN_METHODS[method.lower()]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown join method {method!r}; choose from {sorted(JOIN_METHODS)}"
+        ) from None
+    return impl(trees, tau, **options)
+
+
+def join_methods() -> list[str]:
+    """The registered method names (aliases included)."""
+    return sorted(JOIN_METHODS)

@@ -1,0 +1,23 @@
+"""Binary branches: re-export of :mod:`repro.ted.binary_branch`.
+
+The implementation lives in the TED layer because the binary branch
+distance is a TED lower bound (used by :mod:`repro.ted.bounds`); this
+module keeps the historically natural import path
+``repro.baselines.binary_branch`` working for the SET baseline.
+"""
+
+from repro.ted.binary_branch import (
+    EPSILON,
+    BranchBag,
+    binary_branch_distance,
+    binary_branches,
+    branch_bag_distance,
+)
+
+__all__ = [
+    "EPSILON",
+    "BranchBag",
+    "binary_branches",
+    "binary_branch_distance",
+    "branch_bag_distance",
+]

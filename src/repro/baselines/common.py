@@ -1,0 +1,210 @@
+"""Shared plumbing for all join methods: results, statistics, verification.
+
+Every join in this repository — PartSJ and the baselines — reports its
+outcome through the same :class:`JoinResult` / :class:`JoinStats` types so
+the benchmark harness can print the paper's figures uniformly:
+
+- *candidate generation time* vs *TED computation time* (the two bar
+  segments of Figures 10/12/14);
+- *number of candidates* (the series of Figures 11/13/14) — a candidate is
+  a pair that survived the method's filter and was handed to exact TED
+  verification.
+
+:class:`Verifier` performs the exact-TED verification step shared by all
+methods.  It caches per-tree Zhang–Shasha annotations (both orientations)
+so a tree joined against many candidates is annotated once, and it picks
+the cheaper decomposition orientation per pair as :mod:`repro.ted.rted`
+does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.ted.rted import mirror_tree
+from repro.ted.zhang_shasha import AnnotatedTree, zhang_shasha
+from repro.tree.node import Tree
+
+__all__ = [
+    "JoinPair",
+    "JoinStats",
+    "JoinResult",
+    "Verifier",
+    "SizeSortedCollection",
+    "check_join_inputs",
+]
+
+
+@dataclass(frozen=True)
+class JoinPair:
+    """One join result: tree indices ``i < j`` and their exact distance."""
+
+    i: int
+    j: int
+    distance: int
+
+    def key(self) -> tuple[int, int]:
+        return (self.i, self.j)
+
+
+@dataclass
+class JoinStats:
+    """Counters and phase timings for one join execution."""
+
+    method: str
+    tau: int
+    tree_count: int
+    candidates: int = 0  # pairs sent to exact TED verification
+    results: int = 0  # pairs with TED <= tau
+    ted_calls: int = 0  # exact TED computations performed
+    pairs_considered: int = 0  # pairs examined by the filter phase
+    candidate_time: float = 0.0  # seconds in candidate generation
+    verify_time: float = 0.0  # seconds in TED verification
+    extra: dict = field(default_factory=dict)  # method-specific counters
+
+    @property
+    def total_time(self) -> float:
+        return self.candidate_time + self.verify_time
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.method}(tau={self.tau}, n={self.tree_count}): "
+            f"{self.results} results, {self.candidates} candidates, "
+            f"{self.ted_calls} TED calls, "
+            f"cand {self.candidate_time:.3f}s + ted {self.verify_time:.3f}s"
+        )
+
+
+@dataclass
+class JoinResult:
+    """Pairs plus statistics returned by every join method."""
+
+    pairs: list[JoinPair]
+    stats: JoinStats
+
+    def pair_set(self) -> set[tuple[int, int]]:
+        """The result as a set of ``(i, j)`` index pairs (``i < j``)."""
+        return {pair.key() for pair in self.pairs}
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[JoinPair]:
+        return iter(self.pairs)
+
+
+def check_join_inputs(trees: Sequence[Tree], tau: int) -> None:
+    """Validate common join arguments."""
+    if tau < 0:
+        raise InvalidParameterError(f"tau must be >= 0, got {tau}")
+    for position, tree in enumerate(trees):
+        if not isinstance(tree, Tree):
+            raise InvalidParameterError(
+                f"trees[{position}] is {type(tree).__name__}, expected Tree"
+            )
+
+
+class Verifier:
+    """Exact-TED verification service with per-tree annotation caching.
+
+    Parameters
+    ----------
+    trees:
+        The collection, indexed by original position.
+    tau:
+        The join threshold; :meth:`verify` reports distances ``<= tau``.
+    """
+
+    def __init__(self, trees: Sequence[Tree], tau: int):
+        self._trees = trees
+        self._tau = tau
+        self._annotated: dict[int, AnnotatedTree] = {}
+        self._mirrored: dict[int, AnnotatedTree] = {}
+        self.stats_ted_calls = 0
+        self.stats_time = 0.0
+
+    def _annotation(self, index: int) -> AnnotatedTree:
+        cached = self._annotated.get(index)
+        if cached is None:
+            cached = AnnotatedTree(self._trees[index])
+            self._annotated[index] = cached
+        return cached
+
+    def _mirror_annotation(self, index: int) -> AnnotatedTree:
+        cached = self._mirrored.get(index)
+        if cached is None:
+            cached = AnnotatedTree(mirror_tree(self._trees[index]))
+            self._mirrored[index] = cached
+        return cached
+
+    def distance(self, i: int, j: int) -> int:
+        """Exact TED between trees ``i`` and ``j`` (orientation-adaptive)."""
+        start = time.perf_counter()
+        a1 = self._annotation(i)
+        a2 = self._annotation(j)
+        left_cost = a1.keyroot_weight() * a2.keyroot_weight()
+        b1 = self._mirror_annotation(i)
+        b2 = self._mirror_annotation(j)
+        right_cost = b1.keyroot_weight() * b2.keyroot_weight()
+        if right_cost < left_cost:
+            value = zhang_shasha(b1, b2)
+        else:
+            value = zhang_shasha(a1, a2)
+        self.stats_ted_calls += 1
+        self.stats_time += time.perf_counter() - start
+        return value
+
+    def verify(self, i: int, j: int) -> Optional[int]:
+        """Exact distance if ``<= tau`` else ``None``."""
+        value = self.distance(i, j)
+        return value if value <= self._tau else None
+
+
+class SizeSortedCollection:
+    """Trees sorted ascending by size, remembering original indices.
+
+    All joins process trees in this order (Algorithm 1, line 3): for the
+    probe tree ``Ti``, only previously seen trees within the size window
+    ``[|Ti| - tau, |Ti|]`` can be join partners.
+    """
+
+    def __init__(self, trees: Sequence[Tree]):
+        self.order: list[int] = sorted(range(len(trees)), key=lambda k: trees[k].size)
+        self.trees = trees
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def tree_at(self, position: int) -> Tree:
+        """Tree at sorted position ``position``."""
+        return self.trees[self.order[position]]
+
+    def original_index(self, position: int) -> int:
+        return self.order[position]
+
+    def iter_window_pairs(self, tau: int) -> Iterator[tuple[int, int]]:
+        """Yield sorted-position pairs ``(earlier, later)`` within the window.
+
+        A pair is yielded iff ``size(later) - size(earlier) <= tau``
+        (sizes are sorted, so the window is contiguous); every unordered
+        pair passing the size filter is produced exactly once.
+        """
+        sizes = [self.tree_at(p).size for p in range(len(self.order))]
+        start = 0
+        for later in range(len(self.order)):
+            while sizes[later] - sizes[start] > tau:
+                start += 1
+            for earlier in range(start, later):
+                yield earlier, later
+
+    def make_pair(self, pos_a: int, pos_b: int, distance: int) -> JoinPair:
+        """Build a :class:`JoinPair` in canonical (i < j) orientation."""
+        i = self.original_index(pos_a)
+        j = self.original_index(pos_b)
+        if i > j:
+            i, j = j, i
+        return JoinPair(i, j, distance)

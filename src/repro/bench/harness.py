@@ -1,0 +1,140 @@
+"""Benchmark harness: run one join "cell" and collect the paper's metrics.
+
+A *cell* is one bar/point of a figure: (dataset, method, x-value) →
+candidate-generation time, TED-verification time, candidate count, result
+count.  :func:`run_cell` executes one cell; :func:`run_grid` sweeps a
+parameter; the experiment definitions in :mod:`repro.bench.experiments`
+compose these into the paper's Figures 10-14.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.api import similarity_join
+from repro.core.join import PartSJConfig
+from repro.errors import InvalidParameterError
+from repro.tree.node import Tree
+
+__all__ = ["CellResult", "run_cell", "run_grid", "METHOD_LABELS"]
+
+# Figure series names used by the paper, mapped to registry method names.
+METHOD_LABELS = {
+    "STR": "str",
+    "SET": "set",
+    "PRT": "partsj",
+    "REL": "nested_loop",
+    "HST": "histogram",
+}
+
+
+@dataclass
+class CellResult:
+    """One figure cell: a method executed on one workload configuration."""
+
+    experiment: str
+    dataset: str
+    method: str  # figure series name: STR / SET / PRT / REL
+    x_name: str  # swept parameter, e.g. "tau" or "cardinality"
+    x_value: object
+    candidate_time: float
+    verify_time: float
+    candidates: int
+    results: int
+    ted_calls: int
+    wall_time: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return self.candidate_time + self.verify_time
+
+    def as_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "dataset": self.dataset,
+            "method": self.method,
+            "x_name": self.x_name,
+            "x_value": self.x_value,
+            "candidate_time": round(self.candidate_time, 4),
+            "verify_time": round(self.verify_time, 4),
+            "total_time": round(self.total_time, 4),
+            "candidates": self.candidates,
+            "results": self.results,
+            "ted_calls": self.ted_calls,
+        }
+
+
+def run_cell(
+    experiment: str,
+    dataset: str,
+    trees: Sequence[Tree],
+    tau: int,
+    method: str,
+    x_name: str,
+    x_value: object,
+    partsj_config: Optional[PartSJConfig] = None,
+    str_banded: bool = False,
+) -> CellResult:
+    """Execute one method on one workload and wrap its statistics.
+
+    ``str_banded`` defaults to ``False`` so that the ``STR`` series pays the
+    paper-faithful full string DP (see ``repro.baselines.str_join``).
+    """
+    if method not in METHOD_LABELS:
+        raise InvalidParameterError(
+            f"unknown figure method {method!r}; choose from {sorted(METHOD_LABELS)}"
+        )
+    registry_name = METHOD_LABELS[method]
+    options = {}
+    if registry_name == "partsj" and partsj_config is not None:
+        options["config"] = partsj_config
+    if registry_name == "str":
+        options["banded"] = str_banded
+    started = time.perf_counter()
+    result = similarity_join(trees, tau, method=registry_name, **options)
+    wall = time.perf_counter() - started
+    stats = result.stats
+    return CellResult(
+        experiment=experiment,
+        dataset=dataset,
+        method=method,
+        x_name=x_name,
+        x_value=x_value,
+        candidate_time=stats.candidate_time,
+        verify_time=stats.verify_time,
+        candidates=stats.candidates,
+        results=stats.results,
+        ted_calls=stats.ted_calls,
+        wall_time=wall,
+        extra=dict(stats.extra),
+    )
+
+
+def run_grid(
+    experiment: str,
+    dataset: str,
+    workloads: Sequence[tuple[object, Sequence[Tree], int]],
+    methods: Sequence[str],
+    x_name: str,
+    partsj_config: Optional[PartSJConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> list[CellResult]:
+    """Run every method over a sequence of ``(x_value, trees, tau)`` workloads."""
+    cells: list[CellResult] = []
+    for x_value, trees, tau in workloads:
+        for method in methods:
+            if progress is not None:
+                progress(
+                    f"[{experiment}/{dataset}] {method} {x_name}={x_value} "
+                    f"(n={len(trees)}, tau={tau})"
+                )
+            cells.append(
+                run_cell(
+                    experiment, dataset, trees, tau, method,
+                    x_name, x_value, partsj_config,
+                )
+            )
+    return cells

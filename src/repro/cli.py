@@ -1,0 +1,202 @@
+"""Command line interface: ``python -m repro`` or the ``repro-trees`` script.
+
+Subcommands
+-----------
+- ``generate``   — write a dataset file (synthetic or realistic simulator).
+- ``stats``      — shape statistics of a dataset file, paper-style.
+- ``join``       — run a similarity self-join over a dataset file.
+- ``search``     — similarity search of one query tree in a dataset file.
+- ``ted``        — tree edit distance between two bracket-notation trees.
+- ``experiment`` — run one of the paper's figure reproductions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.api import similarity_join
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.reporting import render_figure
+from repro.core.join import PartSJConfig
+from repro.datasets.io import load_trees, save_trees
+from repro.datasets.realistic import DATASET_GENERATORS
+from repro.datasets.synthetic import SyntheticParams, generate_forest
+from repro.errors import ReproError
+from repro.search import similarity_search
+from repro.ted.api import TED_ALGORITHMS, ted
+from repro.tree.bracket import parse_bracket
+from repro.tree.stats import collection_stats
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trees",
+        description=(
+            "Tree similarity joins (reproduction of Tang et al., VLDB 2015)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser("generate", help="generate a dataset file")
+    gen.add_argument("--dataset", default="synthetic",
+                     choices=["synthetic", *sorted(DATASET_GENERATORS)])
+    gen.add_argument("--count", type=int, default=1000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output path (.gz supported)")
+    gen.add_argument("--fanout", type=int, default=3, help="synthetic: max fanout")
+    gen.add_argument("--depth", type=int, default=5, help="synthetic: max depth")
+    gen.add_argument("--labels", type=int, default=20, help="synthetic: label count")
+    gen.add_argument("--size", type=int, default=80, help="synthetic: avg tree size")
+    gen.add_argument("--decay", type=float, default=0.05, help="synthetic: Dz")
+
+    stats = commands.add_parser("stats", help="dataset shape statistics")
+    stats.add_argument("input", help="dataset file")
+
+    join = commands.add_parser("join", help="similarity self-join")
+    join.add_argument("input", help="dataset file")
+    join.add_argument("--tau", type=int, required=True)
+    join.add_argument("--method", default="partsj",
+                      choices=["partsj", "str", "set", "histogram", "nested_loop"])
+    join.add_argument("--semantics", default="safe", choices=["safe", "paper"],
+                      help="partsj: matching semantics")
+    join.add_argument("--postorder-filter", default="safe",
+                      choices=["safe", "paper", "off"],
+                      help="partsj: postorder window variant")
+    join.add_argument("--pairs", action="store_true",
+                      help="print every result pair (default: stats only)")
+    join.add_argument("--json", action="store_true", help="machine-readable output")
+
+    search = commands.add_parser("search", help="similarity search")
+    search.add_argument("input", help="dataset file")
+    search.add_argument("--query", required=True, help="query tree in bracket notation")
+    search.add_argument("--tau", type=int, required=True)
+
+    ted_cmd = commands.add_parser("ted", help="tree edit distance of two trees")
+    ted_cmd.add_argument("tree1", help="bracket notation")
+    ted_cmd.add_argument("tree2", help="bracket notation")
+    ted_cmd.add_argument("--algorithm", default="rted",
+                         choices=sorted(TED_ALGORITHMS))
+
+    experiment = commands.add_parser(
+        "experiment", help="reproduce one of the paper's figures"
+    )
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", default=None,
+                            choices=["smoke", "small", "medium"])
+    experiment.add_argument("--quiet", action="store_true",
+                            help="suppress per-cell progress lines")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "synthetic":
+        params = SyntheticParams(
+            max_fanout=args.fanout,
+            max_depth=args.depth,
+            num_labels=args.labels,
+            avg_size=args.size,
+            decay=args.decay,
+        )
+        trees = generate_forest(args.count, params, seed=args.seed)
+        comment = f"synthetic f={args.fanout} d={args.depth} l={args.labels} t={args.size}"
+    else:
+        trees = DATASET_GENERATORS[args.dataset](args.count, seed=args.seed)
+        comment = f"{args.dataset}-like simulator"
+    written = save_trees(trees, args.out, comment=f"{comment} seed={args.seed}")
+    print(f"wrote {written} trees to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trees = load_trees(args.input)
+    print(collection_stats(trees).describe())
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    trees = load_trees(args.input)
+    options = {}
+    if args.method == "partsj":
+        options["config"] = PartSJConfig(
+            semantics=args.semantics, postorder_filter=args.postorder_filter
+        )
+    result = similarity_join(trees, args.tau, method=args.method, **options)
+    if args.json:
+        payload = {
+            "stats": {
+                "method": result.stats.method,
+                "tau": result.stats.tau,
+                "trees": result.stats.tree_count,
+                "candidates": result.stats.candidates,
+                "results": result.stats.results,
+                "candidate_time": result.stats.candidate_time,
+                "verify_time": result.stats.verify_time,
+            },
+            "pairs": [[p.i, p.j, p.distance] for p in result.pairs],
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    print(result.stats.summary())
+    if args.pairs:
+        for pair in result.pairs:
+            print(f"{pair.i}\t{pair.j}\t{pair.distance}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    trees = load_trees(args.input)
+    query = parse_bracket(args.query)
+    hits = similarity_search(query, trees, args.tau)
+    for hit in hits:
+        print(f"{hit.index}\t{hit.distance}")
+    print(f"# {len(hits)} trees within tau={args.tau}", file=sys.stderr)
+    return 0
+
+
+def _cmd_ted(args: argparse.Namespace) -> int:
+    distance = ted(
+        parse_bracket(args.tree1), parse_bracket(args.tree2),
+        algorithm=args.algorithm,
+    )
+    print(distance)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    progress = None if args.quiet else (lambda msg: print(msg, file=sys.stderr))
+    title, _ = EXPERIMENTS[args.id]
+    cells = run_experiment(args.id, scale=args.scale, progress=progress)
+    kind = "candidates" if args.id in ("fig11", "fig13") else "both"
+    print(render_figure(title, cells, kind=kind))
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "join": _cmd_join,
+    "search": _cmd_search,
+    "ted": _cmd_ted,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""PartSJ core: partitioning, subgraphs, the two-layer index, and the join."""
+
+from repro.core.index import InvertedSizeIndex, PostorderFilter, TwoLayerIndex
+from repro.core.join import PartSJConfig, partsj_join
+from repro.core.partition import (
+    extract_partition,
+    extract_random_partition,
+    max_min_size,
+    min_partitionable_size,
+    partitionable,
+)
+from repro.core.subgraph import MatchSemantics, Subgraph
+from repro.core.treecache import TreeCache
+
+__all__ = [
+    "partsj_join",
+    "PartSJConfig",
+    "MatchSemantics",
+    "PostorderFilter",
+    "Subgraph",
+    "TreeCache",
+    "TwoLayerIndex",
+    "InvertedSizeIndex",
+    "partitionable",
+    "max_min_size",
+    "extract_partition",
+    "extract_random_partition",
+    "min_partitionable_size",
+]

@@ -1,0 +1,157 @@
+"""The two-layer subgraph index of Section 3.4.
+
+The join keeps one :class:`TwoLayerIndex` per tree size ``n`` (the
+*inverted size index* ``I_n`` of Algorithm 1).  Within a size, subgraphs
+are grouped by
+
+1. **postorder layer** — subgraph ``s_k`` (root postorder id ``p_k``,
+   rank ``k``) is filed under every integer key in
+   ``[p_k - Delta', p_k + Delta']``.  With ``postorder_filter="paper"``
+   ``Delta' = tau - floor(k / 2)`` (the paper's derivation);
+   with ``"safe"`` ``Delta' = tau``, which is provably sufficient because a
+   surviving node's general-tree postorder number shifts by at most one per
+   edit operation; ``"off"`` disables the layer.
+2. **label layer** — within a postorder group, subgraphs are keyed by their
+   topmost twig ``(label, left, right)`` with epsilon for missing /
+   non-member children.
+
+A probe for node ``N`` (postorder number ``p``, label ``l``, binary
+children labels ``ll``/``lr``) inspects the single postorder group ``p``
+and, inside it, the at most four label keys ``(l,ll,lr)``, ``(l,ll,eps)``,
+``(l,eps,lr)``, ``(l,eps,eps)`` — the paper's four search keys.  The two
+layers are materialized as one flat dictionary keyed by
+``(postorder_key, twig)`` tuples.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.core.subgraph import EPSILON, Subgraph
+from repro.errors import InvalidParameterError
+
+__all__ = ["PostorderFilter", "TwoLayerIndex", "InvertedSizeIndex"]
+
+
+class PostorderFilter(enum.Enum):
+    """Window rule for the postorder layer."""
+
+    PAPER = "paper"  # Delta' = tau - floor(k/2): the published scheme
+    SAFE = "safe"  # Delta' = tau: provably no false negatives
+    OFF = "off"  # label layer only
+
+    @classmethod
+    def coerce(cls, value: "PostorderFilter | str") -> "PostorderFilter":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise InvalidParameterError(
+                f"unknown postorder filter {value!r}; use 'paper', 'safe' or 'off'"
+            ) from None
+
+
+# Sentinel postorder key used when the postorder layer is disabled.
+_ANY = -1
+
+
+class TwoLayerIndex:
+    """Subgraph index for the trees of one fixed size."""
+
+    __slots__ = ("tau", "postorder_filter", "_groups", "count")
+
+    def __init__(self, tau: int, postorder_filter: PostorderFilter):
+        self.tau = tau
+        self.postorder_filter = postorder_filter
+        self._groups: dict[tuple[int, tuple[str, str, str]], list[Subgraph]] = {}
+        self.count = 0  # subgraphs inserted (not index entries)
+
+    def window(self, subgraph: Subgraph) -> int:
+        """The half-width ``Delta'`` of ``subgraph``'s postorder window."""
+        if self.postorder_filter is PostorderFilter.PAPER:
+            return max(0, self.tau - subgraph.rank // 2)
+        return self.tau  # SAFE; unused for OFF
+
+    def insert(self, subgraph: Subgraph) -> None:
+        """File ``subgraph`` under its postorder-window and twig keys."""
+        self.count += 1
+        twig = subgraph.twig
+        if self.postorder_filter is PostorderFilter.OFF:
+            self._groups.setdefault((_ANY, twig), []).append(subgraph)
+            return
+        half = self.window(subgraph)
+        pk = subgraph.postorder_id
+        for key in range(pk - half, pk + half + 1):
+            self._groups.setdefault((key, twig), []).append(subgraph)
+
+    def probe(
+        self,
+        postorder_number: int,
+        label: str,
+        left_label: str,
+        right_label: str,
+    ) -> Iterator[Subgraph]:
+        """Subgraphs that may match a node with this position and twig.
+
+        Each stored subgraph is filed under exactly one twig key per
+        postorder key, so the iteration yields no duplicates.
+        """
+        if self.postorder_filter is PostorderFilter.OFF:
+            position = _ANY
+        else:
+            position = postorder_number
+        groups = self._groups
+        seen_keys = set()
+        for twig in (
+            (label, left_label, right_label),
+            (label, left_label, EPSILON),
+            (label, EPSILON, right_label),
+            (label, EPSILON, EPSILON),
+        ):
+            if twig in seen_keys:
+                continue  # collapses when the node lacks a child
+            seen_keys.add(twig)
+            bucket = groups.get((position, twig))
+            if bucket:
+                yield from bucket
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class InvertedSizeIndex:
+    """``I``: one :class:`TwoLayerIndex` per tree size, built on the fly."""
+
+    __slots__ = ("tau", "postorder_filter", "_by_size")
+
+    def __init__(self, tau: int, postorder_filter: PostorderFilter | str = "safe"):
+        if tau < 0:
+            raise InvalidParameterError(f"tau must be >= 0, got {tau}")
+        self.tau = tau
+        self.postorder_filter = PostorderFilter.coerce(postorder_filter)
+        self._by_size: dict[int, TwoLayerIndex] = {}
+
+    def for_size(self, size: int, create: bool = False) -> TwoLayerIndex | None:
+        """The per-size index, optionally creating it."""
+        index = self._by_size.get(size)
+        if index is None and create:
+            index = TwoLayerIndex(self.tau, self.postorder_filter)
+            self._by_size[size] = index
+        return index
+
+    def insert_all(self, size: int, subgraphs: list[Subgraph]) -> None:
+        """Insert a tree's partition into its size's index."""
+        index = self.for_size(size, create=True)
+        assert index is not None
+        for subgraph in subgraphs:
+            index.insert(subgraph)
+
+    @property
+    def total_subgraphs(self) -> int:
+        return sum(index.count for index in self._by_size.values())
+
+    def sizes(self) -> list[int]:
+        """Sizes that currently have a non-empty index."""
+        return sorted(self._by_size)

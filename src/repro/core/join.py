@@ -1,0 +1,295 @@
+"""PartSJ: the partition-based tree similarity join (paper Algorithm 1).
+
+Processing trees in ascending size order, each tree ``Ti``:
+
+1. **Probe phase** — for every node ``N`` of ``Ti``'s binary representation
+   and every size ``n`` in ``[|Ti| - tau, |Ti|]``, the two-layer index
+   ``I_n`` is probed with ``N``'s postorder number and twig labels.  Every
+   returned subgraph ``s`` is structurally matched at ``N``; a successful
+   match makes ``(Ti, owner(s))`` a candidate (checked at most once per
+   pair), verified with exact TED.
+2. **Insert phase** — ``Ti`` is partitioned into ``delta = 2*tau + 1``
+   subgraphs maximizing the minimum subgraph size, which are inserted into
+   ``I_{|Ti|}``.
+
+Trees smaller than ``2*tau + 1`` nodes cannot be partitioned into ``delta``
+non-empty subgraphs, and for them Lemma 2 gives no guarantee (every
+subgraph could be touched); they are kept in a *small-tree pool* and joined
+by direct verification.  The pool only ever holds trees of fewer than
+``2*tau + 1`` nodes and only trees of at most ``3*tau`` nodes consult it,
+so its cost is negligible (and zero for collections of non-tiny trees).
+
+The configuration knobs (:class:`PartSJConfig`) select between the paper's
+published filter variants and the provably-safe ones; see
+:mod:`repro.core.subgraph` and :mod:`repro.core.index` for the analysis.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.baselines.common import (
+    JoinPair,
+    JoinResult,
+    JoinStats,
+    SizeSortedCollection,
+    Verifier,
+    check_join_inputs,
+)
+from repro.core.index import InvertedSizeIndex, PostorderFilter
+from repro.core.partition import (
+    extract_partition,
+    extract_random_partition,
+    max_min_size,
+    min_partitionable_size,
+)
+from repro.core.subgraph import EPSILON, MatchSemantics
+from repro.core.treecache import TreeCache
+from repro.errors import InvalidParameterError
+from repro.tree.node import Tree
+
+__all__ = ["PartSJConfig", "partsj_join"]
+
+
+@dataclass(frozen=True)
+class PartSJConfig:
+    """Tuning knobs for :func:`partsj_join`.
+
+    Attributes
+    ----------
+    semantics:
+        Subgraph matching semantics: ``"safe"`` (default; provably exact)
+        or ``"paper"`` (Section 3.4's strict matching).
+    postorder_filter:
+        Postorder-layer window: ``"safe"`` (default), ``"paper"``
+        (``Delta' = tau - floor(k/2)``) or ``"off"``.
+    partition_strategy:
+        ``"maxmin"`` (default; Algorithm 3) or ``"random"`` (the ablation
+        control).  Random partitioning is only meaningful with
+        ``postorder_filter="off"`` or ``"safe"``, because the paper's
+        window derivation assumes the greedy postorder cut structure.
+    seed:
+        RNG seed for the random partitioning strategy.
+    postorder_numbering:
+        Which postorder numbers the index keys on: ``"general"`` (default;
+        a surviving node's general-tree postorder shifts by at most one per
+        edit, which makes the safe window provably exact) or ``"binary"``
+        (LC-RS postorder — the other plausible reading of the paper's
+        Figure 7, under which no constant window is sound: a single delete
+        can displace a promoted subtree past an arbitrarily large sibling).
+    """
+
+    semantics: MatchSemantics | str = MatchSemantics.SAFE
+    postorder_filter: PostorderFilter | str = PostorderFilter.SAFE
+    partition_strategy: str = "maxmin"
+    seed: int = 0
+    postorder_numbering: str = "general"
+
+    def resolved(self) -> "PartSJConfig":
+        """Normalize string fields to enums and validate."""
+        if self.partition_strategy not in ("maxmin", "random"):
+            raise InvalidParameterError(
+                f"unknown partition strategy {self.partition_strategy!r}; "
+                "use 'maxmin' or 'random'"
+            )
+        if self.postorder_numbering not in ("general", "binary"):
+            raise InvalidParameterError(
+                f"unknown postorder numbering {self.postorder_numbering!r}; "
+                "use 'general' or 'binary'"
+            )
+        return PartSJConfig(
+            semantics=MatchSemantics.coerce(self.semantics),
+            postorder_filter=PostorderFilter.coerce(self.postorder_filter),
+            partition_strategy=self.partition_strategy,
+            seed=self.seed,
+            postorder_numbering=self.postorder_numbering,
+        )
+
+    @classmethod
+    def paper(cls) -> "PartSJConfig":
+        """The configuration matching the published filter exactly."""
+        return cls(
+            semantics=MatchSemantics.PAPER,
+            postorder_filter=PostorderFilter.PAPER,
+        )
+
+
+@dataclass
+class _ProbeCounters:
+    """Mutable per-join counters feeding ``JoinStats.extra``."""
+
+    probe_hits: int = 0  # subgraphs returned by the index
+    match_tests: int = 0  # structural matches attempted
+    match_hits: int = 0  # structural matches that succeeded
+    dedup_skips: int = 0  # probe hits skipped because the pair was checked
+    small_pool_pairs: int = 0  # pairs verified via the small-tree pool
+    partitioned_trees: int = 0
+    small_trees: int = 0
+    subgraphs_built: int = 0
+    gamma_total: int = 0  # sum of chosen gammas (for average reporting)
+
+    def as_dict(self) -> dict:
+        return {
+            "probe_hits": self.probe_hits,
+            "match_tests": self.match_tests,
+            "match_hits": self.match_hits,
+            "dedup_skips": self.dedup_skips,
+            "small_pool_pairs": self.small_pool_pairs,
+            "partitioned_trees": self.partitioned_trees,
+            "small_trees": self.small_trees,
+            "subgraphs_built": self.subgraphs_built,
+            "gamma_total": self.gamma_total,
+        }
+
+
+def partsj_join(
+    trees: Sequence[Tree],
+    tau: int,
+    config: Optional[PartSJConfig] = None,
+) -> JoinResult:
+    """The PartSJ similarity self-join (``PRT`` in the paper's figures).
+
+    Parameters
+    ----------
+    trees:
+        The collection; result pairs reference positions in this sequence.
+    tau:
+        The TED threshold.
+    config:
+        Filter variants; defaults to the provably-exact configuration.
+
+    >>> a = Tree.from_bracket("{a{b}{c{d}{e}}{f}}")
+    >>> b = Tree.from_bracket("{a{b}{c{d}{e}}{g}}")
+    >>> [p.key() for p in partsj_join([a, b], 1).pairs]
+    [(0, 1)]
+    """
+    check_join_inputs(trees, tau)
+    cfg = (config or PartSJConfig()).resolved()
+    semantics: MatchSemantics = cfg.semantics  # type: ignore[assignment]
+    stats = JoinStats(method="PRT", tau=tau, tree_count=len(trees))
+    counters = _ProbeCounters()
+    collection = SizeSortedCollection(trees)
+    verifier = Verifier(trees, tau)
+    index = InvertedSizeIndex(tau, cfg.postorder_filter)
+    rng = random.Random(cfg.seed)
+
+    delta = 2 * tau + 1
+    min_size = min_partitionable_size(tau)
+    small_pool: list[tuple[int, int]] = []  # (original index, size)
+    checked: set[tuple[int, int]] = set()
+    pairs: list[JoinPair] = []
+
+    for position in range(len(collection)):
+        i = collection.original_index(position)
+        tree = trees[i]
+        n = tree.size
+
+        start = time.perf_counter()
+        candidates: list[int] = []  # original indices j to verify against i
+
+        if n >= min_size:
+            cache = TreeCache(tree)
+            _probe_index(
+                index, cache, i, n, tau, min_size, semantics, checked,
+                candidates, counters, cfg.postorder_numbering,
+            )
+        else:
+            cache = None
+            counters.small_trees += 1
+
+        # Small-pool partners: only relevant while |Ti| - tau can reach the
+        # pool's size range [1, 2*tau].
+        if small_pool and n - tau <= 2 * tau:
+            for j, size_j in small_pool:
+                if size_j >= n - tau:
+                    key = (j, i) if j < i else (i, j)
+                    if key not in checked:
+                        checked.add(key)
+                        counters.small_pool_pairs += 1
+                        candidates.append(j)
+        stats.candidate_time += time.perf_counter() - start
+
+        # Verification (the "TED computation" phase of Figures 10/12/14).
+        stats.candidates += len(candidates)
+        for j in candidates:
+            distance = verifier.verify(i, j)
+            if distance is not None:
+                lo, hi = (i, j) if i < j else (j, i)
+                pairs.append(JoinPair(lo, hi, distance))
+
+        # Insert phase: partition Ti and file its subgraphs.
+        start = time.perf_counter()
+        if cache is not None:
+            if cfg.partition_strategy == "random":
+                subgraphs = extract_random_partition(
+                    cache, i, delta, rng, cfg.postorder_numbering
+                )
+                counters.gamma_total += min(sub.size for sub in subgraphs)
+            else:
+                gamma = max_min_size(cache.binary, delta)
+                subgraphs = extract_partition(
+                    cache, i, delta, gamma, cfg.postorder_numbering
+                )
+                counters.gamma_total += gamma
+            index.insert_all(n, subgraphs)
+            counters.partitioned_trees += 1
+            counters.subgraphs_built += len(subgraphs)
+        else:
+            small_pool.append((i, n))
+        stats.candidate_time += time.perf_counter() - start
+
+    stats.ted_calls = verifier.stats_ted_calls
+    stats.verify_time = verifier.stats_time
+    stats.results = len(pairs)
+    stats.pairs_considered = counters.probe_hits + counters.small_pool_pairs
+    stats.extra = counters.as_dict()
+    stats.extra["total_indexed_subgraphs"] = index.total_subgraphs
+    pairs.sort(key=lambda p: p.key())
+    return JoinResult(pairs=pairs, stats=stats)
+
+
+def _probe_index(
+    index: InvertedSizeIndex,
+    cache: TreeCache,
+    i: int,
+    n: int,
+    tau: int,
+    min_size: int,
+    semantics: MatchSemantics,
+    checked: set[tuple[int, int]],
+    candidates: list[int],
+    counters: _ProbeCounters,
+    numbering: str,
+) -> None:
+    """Algorithm 1 lines 5-12: gather candidate partners for tree ``i``."""
+    per_size = [
+        index.for_size(size)
+        for size in range(max(min_size, n - tau), n + 1)
+    ]
+    per_size = [idx for idx in per_size if idx is not None and idx.count]
+    if not per_size:
+        return
+    number_of = (
+        cache.general_postorder if numbering == "general" else cache.binary_number
+    )
+    for node in cache.binary_postorder:
+        p = number_of(node)
+        label = node.label
+        left_label = node.left.label if node.left is not None else EPSILON
+        right_label = node.right.label if node.right is not None else EPSILON
+        for size_index in per_size:
+            for subgraph in size_index.probe(p, label, left_label, right_label):
+                counters.probe_hits += 1
+                j = subgraph.owner
+                key = (j, i) if j < i else (i, j)
+                if key in checked:
+                    counters.dedup_skips += 1
+                    continue
+                counters.match_tests += 1
+                if subgraph.matches_at(node, semantics):
+                    counters.match_hits += 1
+                    checked.add(key)
+                    candidates.append(j)

@@ -1,0 +1,257 @@
+"""Tree partitioning: Algorithms 2 and 3 of the paper, plus extraction.
+
+- :func:`partitionable` — the linear-time greedy ``(delta, gamma)``-
+  partitionable test (Algorithm 2).  Following a binary postorder, every
+  time the not-yet-detached part of a subtree reaches ``gamma`` nodes a
+  gamma-subtree is (virtually) detached.
+- :func:`max_min_size` — binary search for the largest feasible ``gamma``
+  (Algorithm 3), searching ``[floor((n + delta - 1) / (2*delta - 1)),
+  floor(n / delta)]``.
+- :func:`extract_partition` — materializes the partition that the greedy
+  test discovers: the first ``delta - 1`` gamma-subtrees are cut off and
+  the residual tree (which contains the root and, by Lemma 3, has at least
+  ``gamma`` nodes) becomes the last subgraph.
+- :func:`extract_random_partition` — the ablation strategy (Section 4.3's
+  closing remark): ``delta - 1`` uniformly random bridging edges.
+
+All functions are iterative (no recursion), so trees of arbitrary depth are
+safe.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.subgraph import Subgraph
+from repro.core.treecache import TreeCache
+from repro.errors import InvalidParameterError, NotPartitionableError
+from repro.tree.binary import BinaryNode, BinaryTree
+
+__all__ = [
+    "partitionable",
+    "max_min_size",
+    "extract_partition",
+    "extract_random_partition",
+    "min_partitionable_size",
+]
+
+
+def min_partitionable_size(tau: int) -> int:
+    """Smallest tree size for which the Lemma 2 filter is applicable.
+
+    A tree needs at least ``delta = 2*tau + 1`` nodes to be split into
+    ``delta`` non-empty subgraphs; smaller trees go to the join's
+    small-tree pool.
+    """
+    return 2 * tau + 1
+
+
+def _check_delta_gamma(size: int, delta: int, gamma: Optional[int] = None) -> None:
+    if delta < 1:
+        raise InvalidParameterError(f"delta must be >= 1, got {delta}")
+    if gamma is not None and gamma < 1:
+        raise InvalidParameterError(f"gamma must be >= 1, got {gamma}")
+    if delta > size:
+        raise NotPartitionableError(
+            f"cannot split a tree of {size} nodes into {delta} non-empty subgraphs"
+        )
+
+
+def partitionable(binary: BinaryTree, delta: int, gamma: int) -> bool:
+    """Algorithm 2: can ``binary`` be cut into ``delta`` subgraphs of size
+    ``>= gamma`` each?
+
+    Runs in one postorder pass.  ``remaining`` plays the role of the
+    paper's ``size - detached``: the node count still attached beneath each
+    node after the virtual detachments so far.
+    """
+    _check_delta_gamma(binary.size, delta, gamma)
+    if gamma * delta > binary.size:
+        return False
+    found = 0
+    remaining: dict[int, int] = {}
+    for node in binary.iter_postorder():
+        value = 1
+        if node.left is not None:
+            value += remaining[id(node.left)]
+        if node.right is not None:
+            value += remaining[id(node.right)]
+        if value >= gamma:
+            found += 1
+            if found >= delta:
+                return True
+            value = 0  # gamma-subtree detached (virtually)
+        remaining[id(node)] = value
+    return False
+
+
+def max_min_size(binary: BinaryTree, delta: int) -> int:
+    """Algorithm 3: the largest ``gamma`` with ``binary`` ``(delta, gamma)``-
+    partitionable.
+
+    The lower end of the search range,
+    ``gamma_min = floor((n + delta - 1) / (2*delta - 1))``, is always
+    feasible (each greedy gamma-subtree has size at most ``2*gamma - 1``
+    because both of its child branches are smaller than ``gamma``); the
+    upper end is ``floor(n / delta)``.  Binary search in between costs
+    ``O(n log(n / delta))``.
+    """
+    size = binary.size
+    _check_delta_gamma(size, delta)
+    gamma_max = size // delta
+    gamma_min = (size + delta - 1) // (2 * delta - 1)
+    gamma_min = max(1, gamma_min)
+    count = gamma_max - gamma_min + 1
+    while count > 1:
+        gamma_mid = gamma_min + count // 2
+        if partitionable(binary, delta, gamma_mid):
+            count -= count // 2
+            gamma_min = gamma_mid
+        else:
+            count //= 2
+    return gamma_min
+
+
+def _finalize(
+    cache: TreeCache,
+    owner: int,
+    component_of: list[int],
+    roots: dict[int, BinaryNode],
+    numbering: str = "general",
+) -> list[Subgraph]:
+    """Group member sets per component and build rank-ordered Subgraphs.
+
+    ``numbering`` selects the postorder identifier attached to each
+    subgraph root: ``"general"`` (general-tree postorder; the provable
+    choice) or ``"binary"`` (LC-RS postorder; the other plausible reading
+    of the paper's Figure 7).
+    """
+    if numbering not in ("general", "binary"):
+        raise InvalidParameterError(
+            f"unknown postorder numbering {numbering!r}; use 'general' or 'binary'"
+        )
+    number_of = (
+        cache.general_postorder if numbering == "general" else cache.binary_number
+    )
+    members: dict[int, set[int]] = {comp: set() for comp in roots}
+    for number in range(1, cache.size + 1):
+        members[component_of[number]].add(number)
+    subgraphs = [
+        Subgraph(
+            owner=owner,
+            root=root,
+            members=frozenset(members[comp]),
+            rank=0,  # assigned below, ordered by postorder_id
+            postorder_id=number_of(root),
+            incoming=root.incoming,
+            cache=cache,
+        )
+        for comp, root in roots.items()
+    ]
+    subgraphs.sort(key=lambda sub: sub.postorder_id)
+    for rank, sub in enumerate(subgraphs, start=1):
+        sub.rank = rank
+    return subgraphs
+
+
+def extract_partition(
+    cache: TreeCache,
+    owner: int,
+    delta: int,
+    gamma: Optional[int] = None,
+    numbering: str = "general",
+) -> list[Subgraph]:
+    """Cut the cached tree into ``delta`` subgraphs, sizes ``>= gamma``.
+
+    With ``gamma=None`` the maximal feasible value from
+    :func:`max_min_size` is used (the paper's MaxMinSize partitioning).
+    The greedy pass detaches the first ``delta - 1`` gamma-subtrees it
+    finds; everything still attached (including the tree root) forms the
+    last subgraph.
+
+    Returns subgraphs ordered by ascending root postorder id, with 1-based
+    ``rank`` set accordingly.
+    """
+    binary = cache.binary
+    size = cache.size
+    _check_delta_gamma(size, delta, gamma)
+    if gamma is None:
+        gamma = max_min_size(binary, delta)
+    elif not partitionable(binary, delta, gamma):
+        raise NotPartitionableError(
+            f"tree of {size} nodes is not ({delta}, {gamma})-partitionable"
+        )
+
+    # component_of[b] = binary postorder number of the component root that
+    # node number b belongs to; 0 = still attached to the residual tree.
+    component_of = [0] * (size + 1)
+    subtree_size: list[int] = [0] * (size + 1)
+    remaining: list[int] = [0] * (size + 1)
+    roots: dict[int, BinaryNode] = {}
+    cuts = 0
+    for number, node in enumerate(cache.binary_postorder, start=1):
+        total = 1
+        rem = 1
+        if node.left is not None:
+            child = cache.binary_number(node.left)
+            total += subtree_size[child]
+            rem += remaining[child]
+        if node.right is not None:
+            child = cache.binary_number(node.right)
+            total += subtree_size[child]
+            rem += remaining[child]
+        subtree_size[number] = total
+        if cuts < delta - 1 and rem >= gamma:
+            # Detach this gamma-subtree: claim every still-attached node in
+            # the (contiguous) binary postorder span of the subtree.
+            for claimed in range(number - total + 1, number + 1):
+                if component_of[claimed] == 0:
+                    component_of[claimed] = number
+            roots[number] = node
+            cuts += 1
+            rem = 0
+        remaining[number] = rem
+
+    # Residual component: everything unclaimed, rooted at the tree root.
+    root_number = cache.binary_number(binary.root)
+    for number in range(1, size + 1):
+        if component_of[number] == 0:
+            component_of[number] = root_number
+    roots[root_number] = binary.root
+    return _finalize(cache, owner, component_of, roots, numbering)
+
+
+def extract_random_partition(
+    cache: TreeCache,
+    owner: int,
+    delta: int,
+    rng: random.Random,
+    numbering: str = "general",
+) -> list[Subgraph]:
+    """Ablation partitioning: ``delta - 1`` uniformly random bridging edges.
+
+    Any ``delta - 1`` distinct edges split the tree into ``delta``
+    components of size >= 1, with no balance guarantee — which is exactly
+    what makes it a useful control for the MaxMinSize scheme (the paper
+    reports MaxMinSize is 50%-300% faster).
+    """
+    binary = cache.binary
+    size = cache.size
+    _check_delta_gamma(size, delta)
+    # An edge is identified by its child endpoint: sample delta-1 non-roots.
+    root_number = cache.binary_number(binary.root)
+    candidates = [n for n in range(1, size + 1) if n != root_number]
+    cut_numbers = set(rng.sample(candidates, delta - 1))
+
+    roots: dict[int, BinaryNode] = {root_number: binary.root}
+    component_of = [0] * (size + 1)
+    # Preorder guarantees a parent's component is known before its children.
+    for node in binary.iter_preorder():
+        number = cache.binary_number(node)
+        if number in cut_numbers or node.parent is None:
+            component_of[number] = number
+            roots[number] = node
+        else:
+            component_of[number] = component_of[cache.binary_number(node.parent)]
+    return _finalize(cache, owner, component_of, roots, numbering)

@@ -1,0 +1,171 @@
+"""Subgraphs of a delta-partitioning and subgraph-to-tree matching.
+
+A :class:`Subgraph` is one component of a delta-partitioning of an LC-RS
+binary tree (paper Definition 1): a connected set of binary nodes plus the
+*bridging edges* that connect it to the rest of the tree.  For matching
+(paper Section 3.2, "s matches the subtree rooted at node N of Ti"), each
+node slot of the subgraph falls into one of three cases:
+
+- a **member edge** — the child is part of the subgraph: the probed tree
+  must have a matching child there (recursively);
+- a **dangling bridging edge** — the child exists in the container tree but
+  belongs to another subgraph: under the paper's semantics the probed tree
+  must have *some* child there (its content is irrelevant — Figure 7's "the
+  grandchild of N is not relevant to this matching");
+- an **empty slot** — no edge in the container tree: under the paper's
+  semantics the probed tree must have no child there.
+
+Match semantics
+---------------
+``MatchSemantics.PAPER`` enforces all three cases plus the incoming-edge
+category of the subgraph root ("both s2 and N have a left incoming edge").
+
+``MatchSemantics.SAFE`` only enforces member edges and labels.  This is the
+provably sound variant: counting which *patterns* (nodes + labels +
+internal edges) an edit operation can destroy shows a rename or delete
+changes at most 1 subgraph pattern and an insert at most 2 — an insert
+between ``Np`` and children ``c_{p+1}..c_{p+k}`` destroys at most the
+incoming edge of ``c_{p+1}`` and the right-sibling edge out of ``c_{p+k}``,
+each internal to at most one subgraph.  Hence ``tau`` operations change at
+most ``2*tau`` of the ``2*tau + 1`` subgraphs and Lemma 2 holds.  Under
+PAPER semantics a delete can additionally flip the incoming-edge category
+of its first child and grow a right edge under its last child, touching up
+to 3 subgraphs — so the strict filter can (rarely) miss results when
+``tau >= 2``; the property-test suite measures this and EXPERIMENTS.md
+reports it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.tree.binary import BinaryNode, EdgeKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.treecache import TreeCache
+
+__all__ = ["Subgraph", "MatchSemantics", "EPSILON"]
+
+EPSILON = ""  # dummy label for a missing/non-member binary child
+
+
+class MatchSemantics(enum.Enum):
+    """How strictly a subgraph is matched against a probe tree."""
+
+    PAPER = "paper"  # Section 3.4 exactly: bridging edges + empty slots + incoming
+    SAFE = "safe"  # labels and internal edges only; provably no false negatives
+
+    @classmethod
+    def coerce(cls, value: "MatchSemantics | str") -> "MatchSemantics":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown match semantics {value!r}; use 'paper' or 'safe'"
+            ) from None
+
+
+@dataclass
+class Subgraph:
+    """One component of a delta-partitioning of a container tree.
+
+    Attributes
+    ----------
+    owner:
+        Index of the container tree in the joined collection.
+    root:
+        The subgraph's root node inside the container's binary tree.
+    members:
+        Binary postorder numbers (container tree numbering) of the nodes in
+        this subgraph.
+    rank:
+        1-based rank ``k`` of this subgraph when the partition is ordered by
+        ascending ``postorder_id`` (the paper's ``s_1 .. s_delta``).
+    postorder_id:
+        ``p_k``: the general-tree postorder number of the subgraph root in
+        the container tree.
+    incoming:
+        Category of the root's incoming (bridging) edge.
+    cache:
+        The container tree's :class:`TreeCache` (for membership tests).
+    """
+
+    owner: int
+    root: BinaryNode
+    members: frozenset[int]
+    rank: int
+    postorder_id: int
+    incoming: EdgeKind
+    cache: "TreeCache"
+    twig: tuple[str, str, str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.twig = (
+            self.root.label,
+            self._member_label(self.root.left),
+            self._member_label(self.root.right),
+        )
+
+    def _member_label(self, child: BinaryNode | None) -> str:
+        """Label for the twig key: epsilon for missing or non-member children."""
+        if child is None:
+            return EPSILON
+        if self.cache.binary_number(child) not in self.members:
+            return EPSILON  # dangling bridging edge: not part of the twig
+        return child.label
+
+    @property
+    def size(self) -> int:
+        """Number of member nodes."""
+        return len(self.members)
+
+    def is_member(self, node: BinaryNode) -> bool:
+        """True when ``node`` (of the container tree) is in this subgraph."""
+        return self.cache.binary_number(node) in self.members
+
+    # -- matching ------------------------------------------------------------
+
+    def matches_at(self, node: BinaryNode, semantics: MatchSemantics) -> bool:
+        """Does this subgraph occur at ``node`` of a probe tree?
+
+        ``node`` belongs to some *other* tree's binary representation.  The
+        walk compares labels over member edges; PAPER semantics additionally
+        require dangling edges to exist, empty slots to be empty, and the
+        incoming-edge category of the root to agree.
+        """
+        strict = semantics is MatchSemantics.PAPER
+        if strict and node.incoming is not self.incoming:
+            return False
+        stack: list[tuple[BinaryNode, BinaryNode]] = [(self.root, node)]
+        while stack:
+            mine, theirs = stack.pop()
+            if mine.label != theirs.label:
+                return False
+            for my_child, their_child in (
+                (mine.left, theirs.left),
+                (mine.right, theirs.right),
+            ):
+                if my_child is not None and self.is_member(my_child):
+                    if their_child is None:
+                        return False
+                    stack.append((my_child, their_child))
+                elif my_child is not None:
+                    # Dangling bridging edge: the probe tree must have an
+                    # edge here under strict semantics; its subtree content
+                    # never matters.
+                    if strict and their_child is None:
+                        return False
+                else:
+                    if strict and their_child is not None:
+                        return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Subgraph(owner={self.owner}, rank={self.rank}, "
+            f"pk={self.postorder_id}, size={self.size}, twig={self.twig!r})"
+        )

@@ -1,0 +1,107 @@
+"""Per-tree precomputation shared by the PartSJ probe and insert phases.
+
+For every tree the join touches, :class:`TreeCache` materializes once:
+
+- the LC-RS binary representation with a bijection to the general nodes;
+- the binary postorder sequence (the traversal order of Algorithm 2 and of
+  the probe loop, Algorithm 1 line 6);
+- the *general-tree* postorder number of every binary node, which is the
+  position identifier the two-layer index keys on.
+
+Why general-tree postorder?  The postorder-pruning layer (paper Section
+3.4) relies on "a node edit operation shifts a surviving node's postorder
+identifier by at most one".  That statement is provable for the general
+tree's postorder — insert/delete/rename all preserve the relative postorder
+of surviving nodes, and each changes the predecessor count by at most one —
+but *not* for the binary tree's postorder, where deleting one node can
+displace a promoted subtree past an arbitrarily large sibling subtree.
+Keying the index on general postorder keeps the paper's scheme while making
+the conservative window (``postorder_filter="safe"``) provably correct; see
+``repro.core.index`` for the window arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tree.binary import BinaryNode, BinaryTree
+from repro.tree.node import Tree, TreeNode
+
+__all__ = ["TreeCache"]
+
+
+class TreeCache:
+    """All derived structures PartSJ needs for one tree.
+
+    Attributes
+    ----------
+    tree:
+        The original general tree.
+    binary:
+        Its LC-RS representation (each binary node is the twin of exactly
+        one general node, with the same label).
+    binary_postorder:
+        Binary nodes in binary postorder (children before parent in the
+        LC-RS structure) — the traversal order of the partitioning
+        algorithm and the probe loop.
+    """
+
+    __slots__ = (
+        "tree",
+        "binary",
+        "binary_postorder",
+        "_general_postorder_of",
+        "_binary_number_of",
+    )
+
+    def __init__(self, tree: Tree):
+        self.tree = tree
+        general_post: dict[int, int] = {}
+        for number, node in enumerate(tree.iter_postorder(), start=1):
+            general_post[id(node)] = number
+
+        # Build the LC-RS tree while keeping the general twin of every
+        # binary node, so the general postorder number can be attached.
+        binary_root = BinaryNode(tree.root.label)
+        twin_general: dict[int, TreeNode] = {id(binary_root): tree.root}
+        stack: list[tuple[TreeNode, BinaryNode]] = [(tree.root, binary_root)]
+        while stack:
+            general, binary = stack.pop()
+            previous: Optional[BinaryNode] = None
+            for child in general.children:
+                twin = BinaryNode(child.label)
+                twin_general[id(twin)] = child
+                if previous is None:
+                    binary.set_left(twin)
+                else:
+                    previous.set_right(twin)
+                stack.append((child, twin))
+                previous = twin
+
+        self.binary = BinaryTree(binary_root)
+        self.binary_postorder: list[BinaryNode] = self.binary.postorder()
+        self._general_postorder_of: dict[int, int] = {
+            id(bnode): general_post[id(twin_general[id(bnode)])]
+            for bnode in self.binary_postorder
+        }
+        self._binary_number_of: dict[int, int] = {
+            id(bnode): index
+            for index, bnode in enumerate(self.binary_postorder, start=1)
+        }
+
+    @property
+    def size(self) -> int:
+        """Node count (identical for the general and binary representations)."""
+        return len(self.binary_postorder)
+
+    def general_postorder(self, node: BinaryNode) -> int:
+        """1-based general-tree postorder number of ``node``'s general twin."""
+        return self._general_postorder_of[id(node)]
+
+    def binary_number(self, node: BinaryNode) -> int:
+        """1-based binary postorder number of ``node``."""
+        return self._binary_number_of[id(node)]
+
+    def node_at_binary_number(self, number: int) -> BinaryNode:
+        """Inverse of :meth:`binary_number` (1-based)."""
+        return self.binary_postorder[number - 1]

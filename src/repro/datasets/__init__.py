@@ -1,0 +1,29 @@
+"""Dataset generation and IO: synthetic (TreeGen-style) and realistic shapes."""
+
+from repro.datasets.io import iter_trees, load_trees, save_trees
+from repro.datasets.realistic import (
+    DATASET_GENERATORS,
+    sentiment_like,
+    swissprot_like,
+    treebank_like,
+)
+from repro.datasets.synthetic import (
+    SyntheticParams,
+    TreeGenerator,
+    decay,
+    generate_forest,
+)
+
+__all__ = [
+    "SyntheticParams",
+    "TreeGenerator",
+    "generate_forest",
+    "decay",
+    "swissprot_like",
+    "treebank_like",
+    "sentiment_like",
+    "DATASET_GENERATORS",
+    "save_trees",
+    "load_trees",
+    "iter_trees",
+]

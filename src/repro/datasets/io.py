@@ -1,0 +1,72 @@
+"""Dataset files: one bracket-notation tree per line, optionally gzipped.
+
+The format interoperates with the RTED/APTED tool family and keeps the
+whole collection greppable.  Lines starting with ``#`` are comments (the
+writers emit a header recording provenance), blank lines are skipped.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import TreeFormatError
+from repro.tree.bracket import parse_bracket, to_bracket
+from repro.tree.node import Tree
+
+__all__ = ["save_trees", "load_trees", "iter_trees"]
+
+
+def _open_text(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_trees(
+    trees: Iterable[Tree],
+    path: str | Path,
+    comment: str | None = None,
+) -> int:
+    """Write a collection to ``path``; returns the number of trees written.
+
+    A ``.gz`` suffix turns on transparent gzip compression.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with _open_text(path, "w") as handle:
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"# {line}\n")
+        for tree in trees:
+            handle.write(to_bracket(tree))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def iter_trees(path: str | Path) -> Iterator[Tree]:
+    """Stream trees from ``path`` one at a time (constant memory).
+
+    Raises
+    ------
+    TreeFormatError
+        On the first malformed line, with the line number in the message.
+    """
+    path = Path(path)
+    with _open_text(path, "r") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                yield parse_bracket(line)
+            except TreeFormatError as exc:
+                raise TreeFormatError(f"{path}:{lineno}: {exc}") from exc
+
+
+def load_trees(path: str | Path) -> list[Tree]:
+    """Read the whole collection into memory."""
+    return list(iter_trees(path))

@@ -1,0 +1,175 @@
+"""Synthetic tree generation (paper Section 4, "Synthetic" dataset).
+
+The paper generates trees with Zaki's TreeGen [28] controlled by four
+parameters — maximum fanout ``f``, maximum depth ``d``, number of labels
+``l``, and (average) tree size ``t`` (Table 1 defaults: 3, 5, 20, 80) — and
+then perturbs every generated tree with the decay factor ``Dz`` of [27]:
+each node is changed with probability ``Dz`` (default 0.05), the change
+drawn uniformly from {insert, delete, rename}.
+
+:class:`TreeGenerator` reproduces that pipeline.  Trees are grown
+breadth-first toward a per-tree target size (sampled around ``t``) while
+respecting the fanout and depth caps; because the caps bound the number of
+slots, the generator fills shallow levels first when the requested size
+would not otherwise fit, which mirrors TreeGen's behaviour of producing
+bushier trees when ``t`` is large relative to ``f**d``.
+
+A join benchmark needs *similar pairs to exist*; real collections contain
+near-duplicates, and the decay-factor construction of [27] creates them by
+deriving each dataset tree from a smaller pool of base trees.  The
+``cluster_size`` knob controls how many decayed variants each base tree
+spawns (1 = fully independent trees).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import InvalidParameterError
+from repro.tree.edits import random_edit, apply_edit
+from repro.tree.node import Tree, TreeNode
+
+__all__ = ["SyntheticParams", "TreeGenerator", "generate_forest", "decay"]
+
+
+@dataclass(frozen=True)
+class SyntheticParams:
+    """Table 1's knobs with the paper's defaults in bold there (3/5/20/80)."""
+
+    max_fanout: int = 3  # f
+    max_depth: int = 5  # d (root at depth 0)
+    num_labels: int = 20  # l
+    avg_size: int = 80  # t
+    decay: float = 0.05  # Dz of [27]
+    cluster_size: int = 4  # decayed variants derived per base tree
+
+    def validate(self) -> None:
+        if self.max_fanout < 1:
+            raise InvalidParameterError(f"max_fanout must be >= 1, got {self.max_fanout}")
+        if self.max_depth < 0:
+            raise InvalidParameterError(f"max_depth must be >= 0, got {self.max_depth}")
+        if self.num_labels < 1:
+            raise InvalidParameterError(f"num_labels must be >= 1, got {self.num_labels}")
+        if self.avg_size < 1:
+            raise InvalidParameterError(f"avg_size must be >= 1, got {self.avg_size}")
+        if not 0.0 <= self.decay <= 1.0:
+            raise InvalidParameterError(f"decay must be in [0, 1], got {self.decay}")
+        if self.cluster_size < 1:
+            raise InvalidParameterError(
+                f"cluster_size must be >= 1, got {self.cluster_size}"
+            )
+
+    @property
+    def labels(self) -> list[str]:
+        return [f"L{k}" for k in range(self.num_labels)]
+
+    def max_possible_size(self) -> int:
+        """Nodes in the full ``max_fanout``-ary tree of ``max_depth`` levels."""
+        total = 0
+        level = 1
+        for _ in range(self.max_depth + 1):
+            total += level
+            level *= self.max_fanout
+        return total
+
+
+class TreeGenerator:
+    """Random tree source with TreeGen-style shape control."""
+
+    def __init__(self, params: SyntheticParams, seed: int = 0):
+        params.validate()
+        self.params = params
+        self.rng = random.Random(seed)
+
+    def _target_size(self) -> int:
+        """Per-tree size drawn around ``avg_size`` (±25%), capped by shape."""
+        spread = max(1, self.params.avg_size // 4)
+        target = self.params.avg_size + self.rng.randint(-spread, spread)
+        return max(1, min(target, self.params.max_possible_size()))
+
+    def _random_label(self) -> str:
+        return f"L{self.rng.randrange(self.params.num_labels)}"
+
+    def generate_tree(self) -> Tree:
+        """Grow one tree to its target size, one child at a time.
+
+        Every node can hold up to ``max_fanout`` children; a uniformly
+        random frontier node receives each new child, so fanouts vary in
+        ``[0, f]`` while the tree reliably reaches its target size (the
+        frontier only empties when the shape caps make the target
+        infeasible, which ``_target_size`` already rules out).
+        """
+        params = self.params
+        rng = self.rng
+        target = self._target_size()
+        root = TreeNode(self._random_label())
+        size = 1
+        # Frontier of (node, depth) with at least one free child slot.
+        frontier: list[tuple[TreeNode, int]] = (
+            [(root, 0)] if params.max_depth > 0 else []
+        )
+        while size < target and frontier:
+            pick = rng.randrange(len(frontier))
+            node, depth = frontier[pick]
+            child = node.add_child(TreeNode(self._random_label()))
+            size += 1
+            if depth + 1 < params.max_depth:
+                frontier.append((child, depth + 1))
+            if len(node.children) >= params.max_fanout:
+                frontier[pick] = frontier[-1]
+                frontier.pop()
+        return Tree(root)
+
+    def decay_tree(self, tree: Tree) -> Tree:
+        """Apply the decay factor: each node mutates with probability ``Dz``.
+
+        The number of mutations is drawn as a binomial over the node count
+        (equivalent to flipping a ``Dz`` coin per node); each mutation is a
+        uniformly random insert/delete/rename.
+        """
+        mutations = sum(
+            1 for _ in range(tree.size) if self.rng.random() < self.params.decay
+        )
+        current = tree
+        for _ in range(mutations):
+            op = random_edit(current, self.rng, self.params.labels)
+            current = apply_edit(current, op)
+        return current
+
+    def generate(self, count: int) -> list[Tree]:
+        """A forest of ``count`` trees with near-duplicate cluster structure.
+
+        Base trees are generated independently; each spawns up to
+        ``cluster_size`` decayed variants until ``count`` is reached.
+        """
+        trees: list[Tree] = []
+        while len(trees) < count:
+            base = self.generate_tree()
+            for _ in range(min(self.params.cluster_size, count - len(trees))):
+                trees.append(self.decay_tree(base))
+        return trees
+
+    def stream(self) -> Iterator[Tree]:
+        """Endless stream of decayed trees (for streaming-workload demos)."""
+        while True:
+            base = self.generate_tree()
+            for _ in range(self.params.cluster_size):
+                yield self.decay_tree(base)
+
+
+def generate_forest(
+    count: int,
+    params: Optional[SyntheticParams] = None,
+    seed: int = 0,
+) -> list[Tree]:
+    """Convenience wrapper: ``TreeGenerator(params, seed).generate(count)``."""
+    return TreeGenerator(params or SyntheticParams(), seed).generate(count)
+
+
+def decay(tree: Tree, dz: float, num_labels: int, seed: int = 0) -> Tree:
+    """Standalone decay-factor mutation of one tree."""
+    params = SyntheticParams(decay=dz, num_labels=num_labels)
+    generator = TreeGenerator(params, seed)
+    return generator.decay_tree(tree)

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch a single base class.  Input
+validation errors (malformed bracket strings, invalid parameters, illegal
+edit operations) each get a dedicated subclass because callers frequently
+want to distinguish "the data is broken" from "the request is broken".
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TreeFormatError(ReproError, ValueError):
+    """A serialized tree (bracket notation, XML, dataset file) is malformed."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An algorithm parameter is out of its documented domain.
+
+    Examples: a negative similarity threshold ``tau``, a partition count
+    ``delta < 1``, or a size constraint ``gamma < 1``.
+    """
+
+
+class EditOperationError(ReproError, ValueError):
+    """A node edit operation cannot be applied to the given tree.
+
+    Raised for e.g. deleting the root of a single-node tree, inserting under
+    a non-existent parent, or referencing children that are not consecutive.
+    """
+
+
+class NotPartitionableError(ReproError):
+    """A tree cannot be split into the requested number of subgraphs."""

@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's evaluation: alternative distances."""
+
+from repro.extras.pqgram import DUMMY, pqgram_distance, pqgram_profile
+
+__all__ = ["pqgram_profile", "pqgram_distance", "DUMMY"]

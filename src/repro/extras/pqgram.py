@@ -1,0 +1,85 @@
+"""pq-grams (Augsten et al. [3, 5]): an alternative tree distance.
+
+Listed in the paper's related work as one of the approximate measures TED
+competes with.  A *pq-gram* is a small fixed-shape subtree: an anchor node
+with its ``p - 1`` nearest ancestors (the *stem*) and ``q`` consecutive
+children (the *base*); missing positions are filled with a dummy label
+``*``.  The pq-gram distance between two trees is the (normalized)
+symmetric difference between their pq-gram profiles.
+
+Unlike the bounds in :mod:`repro.ted.bounds`, the pq-gram distance is *not*
+a lower bound of unit-cost TED — it approximates a fanout-weighted TED —
+so joins in this library never use it for exact filtering.  It is provided
+for approximate/duplicate-detection workflows (see
+``examples/xml_near_duplicates.py``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import InvalidParameterError
+from repro.tree.node import Tree, TreeNode
+
+__all__ = ["pqgram_profile", "pqgram_distance", "DUMMY"]
+
+DUMMY = "*"
+
+
+def pqgram_profile(tree: Tree, p: int = 2, q: int = 3) -> Counter:
+    """The bag of pq-grams of ``tree``.
+
+    Each pq-gram is a tuple of ``p + q`` labels: the anchor's ``p - 1``
+    ancestors (root-padded with ``*``), the anchor, then ``q`` consecutive
+    children (leaf- and edge-padded with ``*``).
+
+    >>> profile = pqgram_profile(Tree.from_bracket("{a{b}}"), p=1, q=1)
+    >>> sorted(profile.elements())
+    [('a', 'b'), ('b', '*')]
+    """
+    if p < 1 or q < 1:
+        raise InvalidParameterError(f"p and q must be >= 1, got p={p}, q={q}")
+    profile: Counter = Counter()
+    root_stem = (DUMMY,) * (p - 1) + (tree.root.label,)
+    stack: list[tuple[TreeNode, tuple[str, ...]]] = [(tree.root, root_stem)]
+    while stack:
+        node, stem = stack.pop()
+        if node.is_leaf:
+            profile[stem + (DUMMY,) * q] += 1
+            continue
+        # Slide a q-window over the children, padded q-1 wide on both ends.
+        padded = [DUMMY] * (q - 1) + [c.label for c in node.children] + [DUMMY] * (q - 1)
+        for start in range(len(padded) - q + 1):
+            profile[stem + tuple(padded[start:start + q])] += 1
+        for child in node.children:
+            stack.append((child, stem[1:] + (child.label,)))
+    return profile
+
+
+def pqgram_distance(
+    t1: Tree,
+    t2: Tree,
+    p: int = 2,
+    q: int = 3,
+    normalized: bool = True,
+) -> float:
+    """pq-gram distance between two trees.
+
+    With ``normalized`` (the usual definition) the value is
+    ``1 - 2*|P1 ∩ P2| / (|P1| + |P2|)`` in ``[0, 1]``; otherwise the raw
+    bag symmetric-difference size is returned.
+
+    >>> t = Tree.from_bracket("{a{b}{c}}")
+    >>> pqgram_distance(t, t)
+    0.0
+    """
+    profile1 = pqgram_profile(t1, p, q)
+    profile2 = pqgram_profile(t2, p, q)
+    size1 = sum(profile1.values())
+    size2 = sum(profile2.values())
+    common = sum((profile1 & profile2).values())
+    if not normalized:
+        return float(size1 + size2 - 2 * common)
+    if size1 + size2 == 0:
+        return 0.0
+    return 1.0 - (2.0 * common) / (size1 + size2)

@@ -1,0 +1,154 @@
+"""Similarity search: one query tree against a collection (paper Section 1).
+
+``similarity_search(query, trees, tau)`` returns all collection trees within
+TED ``tau`` of the query.  The implementation reuses the PartSJ machinery in
+the search direction the paper describes for its index: the *query* is
+partitioned into ``2*tau + 1`` subgraphs, and a collection tree can only be
+similar if (a) its size is within ``tau`` of the query's and (b) when the
+query is the size-wise larger side, at least one subgraph of the candidate
+would survive — here evaluated directly by matching each collection tree's
+partition against the query (Lemma 2 with the candidate as ``T_B1``).
+
+For one-off searches this filter pays off once the collection is reused:
+:class:`SimilaritySearcher` partitions and indexes the collection per
+``tau`` lazily and can then serve many queries.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.baselines.common import Verifier
+from repro.core.index import InvertedSizeIndex, PostorderFilter
+from repro.core.join import PartSJConfig
+from repro.core.partition import (
+    extract_partition,
+    max_min_size,
+    min_partitionable_size,
+)
+from repro.core.subgraph import EPSILON, MatchSemantics
+from repro.core.treecache import TreeCache
+from repro.errors import InvalidParameterError
+from repro.tree.node import Tree
+
+__all__ = ["SearchHit", "SimilaritySearcher", "similarity_search"]
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One search result: collection index and exact distance."""
+
+    index: int
+    distance: int
+
+
+class SimilaritySearcher:
+    """Reusable searcher over a fixed collection.
+
+    Parameters
+    ----------
+    trees:
+        The collection to search.
+    tau:
+        The TED threshold all queries will use.
+    config:
+        PartSJ filter configuration (defaults to the exact-safe one).
+    """
+
+    def __init__(
+        self,
+        trees: Sequence[Tree],
+        tau: int,
+        config: Optional[PartSJConfig] = None,
+    ):
+        if tau < 0:
+            raise InvalidParameterError(f"tau must be >= 0, got {tau}")
+        self.trees = trees
+        self.tau = tau
+        self.config = (config or PartSJConfig()).resolved()
+        self._index = InvertedSizeIndex(tau, self.config.postorder_filter)
+        self._min_size = min_partitionable_size(tau)
+        self._small: list[int] = []  # indices of unpartitionable trees
+        self._sizes_sorted: list[tuple[int, int]] = sorted(
+            (tree.size, i) for i, tree in enumerate(trees)
+        )
+        delta = 2 * tau + 1
+        for i, tree in enumerate(trees):
+            if tree.size >= self._min_size:
+                cache = TreeCache(tree)
+                gamma = max_min_size(cache.binary, delta)
+                subgraphs = extract_partition(
+                    cache, i, delta, gamma, self.config.postorder_numbering
+                )
+                self._index.insert_all(tree.size, subgraphs)
+            else:
+                self._small.append(i)
+
+    def _size_window(self, size: int) -> list[int]:
+        """Indices of collection trees with size within ``tau`` of ``size``."""
+        lo = bisect.bisect_left(self._sizes_sorted, (size - self.tau, -1))
+        hi = bisect.bisect_right(self._sizes_sorted, (size + self.tau, len(self.trees)))
+        return [i for _, i in self._sizes_sorted[lo:hi]]
+
+    def search(self, query: Tree) -> list[SearchHit]:
+        """All collection trees with ``TED(query, tree) <= tau``."""
+        tau = self.tau
+        semantics: MatchSemantics = self.config.semantics  # type: ignore[assignment]
+        candidates: set[int] = set()
+
+        cache = TreeCache(query)
+        n = cache.size
+        # Indexed candidates: collection trees small enough that their
+        # partition must leave a subgraph inside the query (|Tj| <= |query|).
+        probe_sizes = [
+            self._index.for_size(size)
+            for size in range(max(self._min_size, n - tau), n + 1)
+        ]
+        probe_sizes = [idx for idx in probe_sizes if idx is not None and idx.count]
+        if probe_sizes:
+            number_of = (
+                cache.general_postorder
+                if self.config.postorder_numbering == "general"
+                else cache.binary_number
+            )
+            for node in cache.binary_postorder:
+                p = number_of(node)
+                left = node.left.label if node.left is not None else EPSILON
+                right = node.right.label if node.right is not None else EPSILON
+                for size_index in probe_sizes:
+                    for subgraph in size_index.probe(p, node.label, left, right):
+                        if subgraph.owner in candidates:
+                            continue
+                        if subgraph.matches_at(node, semantics):
+                            candidates.add(subgraph.owner)
+        # Collection trees larger than the query (or too small to partition)
+        # cannot be pruned by the query-side probe: verify them directly.
+        for i in self._size_window(n):
+            if self.trees[i].size > n or self.trees[i].size < self._min_size:
+                candidates.add(i)
+
+        verifier = Verifier(list(self.trees) + [query], tau)
+        query_index = len(self.trees)
+        hits = []
+        for i in sorted(candidates):
+            distance = verifier.verify(i, query_index)
+            if distance is not None:
+                hits.append(SearchHit(index=i, distance=distance))
+        return hits
+
+
+def similarity_search(
+    query: Tree,
+    trees: Sequence[Tree],
+    tau: int,
+    config: Optional[PartSJConfig] = None,
+) -> list[SearchHit]:
+    """One-shot similarity search (builds a searcher and discards it).
+
+    >>> trees = [Tree.from_bracket(s) for s in ("{a{b}{c}}", "{x{y{z}}}")]
+    >>> [h.index for h in similarity_search(Tree.from_bracket("{a{b}}"), trees, 1)]
+    [0]
+    """
+    return SimilaritySearcher(trees, tau, config).search(query)

@@ -1,0 +1,37 @@
+"""Tree edit distance algorithms, string edit distance, and TED bounds."""
+
+from repro.ted.api import TED_ALGORITHMS, ted, ted_within
+from repro.ted.bounds import (
+    binary_branch_lower_bound,
+    composite_lower_bound,
+    degree_histogram_lower_bound,
+    label_multiset_lower_bound,
+    size_lower_bound,
+    traversal_string_lower_bound,
+    trivial_upper_bound,
+)
+from repro.ted.rted import decomposition_costs, mirror_tree, ted_hybrid
+from repro.ted.simple import ted_reference
+from repro.ted.string_edit import string_edit_distance, string_edit_within
+from repro.ted.zhang_shasha import AnnotatedTree, zhang_shasha
+
+__all__ = [
+    "ted",
+    "ted_within",
+    "TED_ALGORITHMS",
+    "zhang_shasha",
+    "AnnotatedTree",
+    "ted_hybrid",
+    "ted_reference",
+    "mirror_tree",
+    "decomposition_costs",
+    "string_edit_distance",
+    "string_edit_within",
+    "size_lower_bound",
+    "label_multiset_lower_bound",
+    "degree_histogram_lower_bound",
+    "traversal_string_lower_bound",
+    "binary_branch_lower_bound",
+    "composite_lower_bound",
+    "trivial_upper_bound",
+]

@@ -1,0 +1,201 @@
+"""Binary trees for the left-child/right-sibling (LC-RS) representation.
+
+The PartSJ framework (paper Section 3) operates on the Knuth transformation
+of each general tree: every node keeps at most two pointers, ``left`` (its
+leftmost child in the general tree) and ``right`` (its next sibling).  This
+module provides the binary node/tree types plus the edge-category vocabulary
+of Section 3.1:
+
+- a node's *incoming* edge is either a **left incoming** edge (it hangs off
+  its parent's ``left`` pointer, i.e. it is the parent's leftmost child in
+  the general tree) or a **right incoming** edge (parent's ``right`` pointer,
+  i.e. it is the parent's next sibling);
+- its *outgoing* edges are the **left outgoing** and **right outgoing**
+  pointers.
+
+The module also assigns postorder numbers (1-based) over the binary tree,
+which the two-layer index of Section 3.4 keys on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Optional
+
+__all__ = ["BinaryNode", "BinaryTree", "EdgeKind"]
+
+
+class EdgeKind(enum.Enum):
+    """Category of a node's incoming edge in an LC-RS binary tree."""
+
+    ROOT = "root"  # no incoming edge: the node is the tree root
+    LEFT = "left"  # incoming from the parent's left (leftmost-child) pointer
+    RIGHT = "right"  # incoming from the parent's right (next-sibling) pointer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EdgeKind.{self.name}"
+
+
+class BinaryNode:
+    """A node of an LC-RS binary tree.
+
+    Attributes
+    ----------
+    label:
+        Node label, copied unchanged from the general tree (Knuth's
+        transformation never alters labels).
+    left / right:
+        The two outgoing pointers, or ``None``.
+    parent:
+        Back-pointer to the parent node (``None`` at the root).  Maintained
+        by :meth:`set_left` / :meth:`set_right`.
+    """
+
+    __slots__ = ("label", "left", "right", "parent")
+
+    def __init__(self, label: str):
+        self.label = str(label)
+        self.left: Optional[BinaryNode] = None
+        self.right: Optional[BinaryNode] = None
+        self.parent: Optional[BinaryNode] = None
+
+    # -- construction ------------------------------------------------------
+
+    def set_left(self, child: Optional["BinaryNode"]) -> Optional["BinaryNode"]:
+        """Attach ``child`` on the left pointer (maintains parent links)."""
+        self.left = child
+        if child is not None:
+            child.parent = self
+        return child
+
+    def set_right(self, child: Optional["BinaryNode"]) -> Optional["BinaryNode"]:
+        """Attach ``child`` on the right pointer (maintains parent links)."""
+        self.right = child
+        if child is not None:
+            child.parent = self
+        return child
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def incoming(self) -> EdgeKind:
+        """The category of this node's incoming edge (Section 3.1)."""
+        if self.parent is None:
+            return EdgeKind.ROOT
+        if self.parent.left is self:
+            return EdgeKind.LEFT
+        return EdgeKind.RIGHT
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the binary subtree rooted here."""
+        count = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return count
+
+    def iter_postorder(self) -> Iterator["BinaryNode"]:
+        """Yield nodes of this binary subtree in (left, right, node) order."""
+        stack: list[tuple[BinaryNode, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+                continue
+            stack.append((node, True))
+            if node.right is not None:
+                stack.append((node.right, False))
+            if node.left is not None:
+                stack.append((node.left, False))
+
+    def iter_preorder(self) -> Iterator["BinaryNode"]:
+        """Yield nodes of this binary subtree in (node, left, right) order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def structurally_equal(self, other: "BinaryNode") -> bool:
+        """True when both binary subtrees have identical shape and labels."""
+        stack = [(self, other)]
+        while stack:
+            a, b = stack.pop()
+            if a is None and b is None:
+                continue
+            if a is None or b is None or a.label != b.label:
+                return False
+            stack.append((a.left, b.left))
+            stack.append((a.right, b.right))
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BinaryNode({self.label!r})"
+
+
+class BinaryTree:
+    """An LC-RS binary tree with cached postorder numbering.
+
+    The numbering is 1-based over the *binary* postorder traversal (left
+    subtree, right subtree, node), matching the numbers shown next to the
+    nodes in the paper's Figure 7.
+    """
+
+    __slots__ = ("root", "_postorder", "_number_of")
+
+    def __init__(self, root: BinaryNode):
+        if not isinstance(root, BinaryNode):
+            raise TypeError(
+                f"BinaryTree root must be a BinaryNode, got {type(root).__name__}"
+            )
+        self.root = root
+        self._postorder: Optional[list[BinaryNode]] = None
+        self._number_of: Optional[dict[BinaryNode, int]] = None
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes (equals the general tree's node count)."""
+        return len(self.postorder())
+
+    def __len__(self) -> int:
+        return self.size
+
+    def postorder(self) -> list[BinaryNode]:
+        """The nodes in binary postorder; computed once and cached."""
+        if self._postorder is None:
+            self._postorder = list(self.root.iter_postorder())
+        return self._postorder
+
+    def postorder_number(self, node: BinaryNode) -> int:
+        """1-based postorder number of ``node`` (Figure 7's parenthesised ids)."""
+        if self._number_of is None:
+            self._number_of = {
+                n: i for i, n in enumerate(self.postorder(), start=1)
+            }
+        return self._number_of[node]
+
+    def iter_postorder(self) -> Iterator[BinaryNode]:
+        """Iterate nodes in binary postorder."""
+        return iter(self.postorder())
+
+    def iter_preorder(self) -> Iterator[BinaryNode]:
+        """Iterate nodes in binary preorder."""
+        return self.root.iter_preorder()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BinaryTree):
+            return NotImplemented
+        return self.root.structurally_equal(other.root)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BinaryTree(size={self.size}, root={self.root.label!r})"

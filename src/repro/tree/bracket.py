@@ -1,0 +1,132 @@
+"""Bracket notation for trees, the interchange format of the TED community.
+
+A tree is written as ``{label`` followed by the bracket forms of its children
+and a closing ``}``.  For example ``{a{b}{c{d}}}`` is the tree rooted at
+``a`` with children ``b`` and ``c``, where ``c`` has one child ``d``.  This
+is the format used by the RTED/APTED reference implementations, which makes
+datasets produced by this library interoperable with them.
+
+Labels may contain any character; ``{``, ``}`` and ``\\`` are escaped with a
+backslash.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TreeFormatError
+from repro.tree.node import Tree, TreeNode
+
+__all__ = ["parse_bracket", "to_bracket", "escape_label", "unescape_label"]
+
+_SPECIAL = {"{", "}", "\\"}
+
+
+def escape_label(label: str) -> str:
+    """Escape the bracket-notation metacharacters in ``label``."""
+    if not any(ch in _SPECIAL for ch in label):
+        return label
+    return "".join("\\" + ch if ch in _SPECIAL else ch for ch in label)
+
+
+def unescape_label(label: str) -> str:
+    """Inverse of :func:`escape_label` (assumes a well-formed escape)."""
+    if "\\" not in label:
+        return label
+    out: list[str] = []
+    it = iter(label)
+    for ch in it:
+        if ch == "\\":
+            ch = next(it, "")
+        out.append(ch)
+    return "".join(out)
+
+
+def parse_bracket(text: str) -> Tree:
+    """Parse one tree from bracket notation.
+
+    Raises
+    ------
+    TreeFormatError
+        On unbalanced brackets, trailing garbage, an empty input, or a
+        forest (multiple roots).
+    """
+    text = text.strip()
+    if not text:
+        raise TreeFormatError("empty bracket string")
+    if text[0] != "{":
+        raise TreeFormatError(f"bracket string must start with '{{': {text[:40]!r}")
+
+    root: TreeNode | None = None
+    stack: list[TreeNode] = []
+    label_chars: list[str] = []
+    reading_label = False
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and reading_label:
+            if i + 1 >= n:
+                raise TreeFormatError("dangling escape at end of bracket string")
+            label_chars.append(text[i + 1])
+            i += 2
+            continue
+        if ch == "{":
+            if reading_label:
+                # Label ends where the first child starts.
+                _finish_label(stack, label_chars)
+            node = TreeNode("")
+            if stack:
+                stack[-1].add_child(node)
+            elif root is None:
+                root = node
+            else:
+                raise TreeFormatError("multiple roots: input is a forest, not a tree")
+            stack.append(node)
+            label_chars = []
+            reading_label = True
+        elif ch == "}":
+            if not stack:
+                raise TreeFormatError("unbalanced '}' in bracket string")
+            if reading_label:
+                _finish_label(stack, label_chars)
+                reading_label = False
+                label_chars = []
+            stack.pop()
+        else:
+            if not reading_label:
+                raise TreeFormatError(
+                    f"unexpected character {ch!r} between siblings at offset {i}"
+                )
+            label_chars.append(ch)
+        i += 1
+
+    if stack:
+        raise TreeFormatError("unbalanced '{' in bracket string")
+    if root is None:
+        raise TreeFormatError("no tree found in bracket string")
+    return Tree(root)
+
+
+def _finish_label(stack: list[TreeNode], chars: list[str]) -> None:
+    if not stack:  # pragma: no cover - guarded by callers
+        raise TreeFormatError("label outside any tree node")
+    stack[-1].label = "".join(chars)
+
+
+def to_bracket(tree: Tree) -> str:
+    """Serialize ``tree`` to bracket notation (inverse of :func:`parse_bracket`)."""
+    parts: list[str] = []
+    # Explicit stack: each entry is either a node to open or the CLOSE marker.
+    close = object()
+    stack: list[object] = [tree.root]
+    while stack:
+        item = stack.pop()
+        if item is close:
+            parts.append("}")
+            continue
+        node: TreeNode = item  # type: ignore[assignment]
+        parts.append("{")
+        parts.append(escape_label(node.label))
+        stack.append(close)
+        for child in reversed(node.children):
+            stack.append(child)
+    return "".join(parts)

@@ -1,0 +1,222 @@
+"""Node edit operations on general trees (paper Section 2, Figure 2).
+
+The three unit-cost operations of the tree edit distance:
+
+- **rename**: change one node's label;
+- **delete**: remove a node; its children splice into the parent's child
+  list in its place, preserving order;
+- **insert**: add a node ``Nx`` between a parent ``Np`` and a (possibly
+  empty) run of consecutive children, which become ``Nx``'s children.
+
+Operations are value-oriented: :func:`apply_edit` returns a *new* tree and
+never mutates its input.  Nodes are addressed by their preorder index
+(0-based), which is stable under serialization and easy to generate
+randomly.  These operations power the synthetic dataset generator (decay
+factor mutations) and the property tests, which check the fundamental
+invariant ``TED(T, apply_script(T, ops)) <= len(ops)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.errors import EditOperationError
+from repro.tree.node import Tree, TreeNode
+
+__all__ = [
+    "Rename",
+    "Delete",
+    "Insert",
+    "EditOperation",
+    "apply_edit",
+    "apply_script",
+    "random_edit",
+    "random_script",
+]
+
+
+@dataclass(frozen=True)
+class Rename:
+    """Change the label of the node at preorder index ``node`` to ``label``."""
+
+    node: int
+    label: str
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Delete the node at preorder index ``node``.
+
+    Deleting the root is only legal when the root has exactly one child
+    (otherwise the result would be a forest, which the paper's data model
+    excludes).
+    """
+
+    node: int
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Insert a new node labeled ``label`` under the node at preorder index
+    ``parent``, adopting the ``count`` consecutive children starting at
+    child position ``position``.
+
+    ``count = 0`` inserts a new leaf at child position ``position``.
+    """
+
+    parent: int
+    position: int
+    count: int
+    label: str
+
+
+EditOperation = Union[Rename, Delete, Insert]
+
+
+def apply_edit(tree: Tree, op: EditOperation) -> Tree:
+    """Return a new tree with ``op`` applied.
+
+    Raises
+    ------
+    EditOperationError
+        If the operation references nodes/positions that do not exist or
+        would produce a forest.
+    """
+    new_tree = tree.copy()
+    nodes = list(new_tree.iter_preorder())
+    if isinstance(op, Rename):
+        _check_index(op.node, len(nodes), "rename target")
+        nodes[op.node].label = op.label
+    elif isinstance(op, Delete):
+        _check_index(op.node, len(nodes), "delete target")
+        _delete_node(new_tree, nodes, op.node)
+    elif isinstance(op, Insert):
+        _check_index(op.parent, len(nodes), "insert parent")
+        _insert_node(nodes[op.parent], op)
+    else:
+        raise EditOperationError(f"unknown edit operation: {op!r}")
+    return Tree(new_tree.root)
+
+
+def apply_script(tree: Tree, ops: Sequence[EditOperation]) -> Tree:
+    """Apply a sequence of operations left to right.
+
+    Preorder indices in each operation refer to the tree produced by the
+    previous operation.
+    """
+    for op in ops:
+        tree = apply_edit(tree, op)
+    return tree
+
+
+def _check_index(index: int, size: int, what: str) -> None:
+    if not 0 <= index < size:
+        raise EditOperationError(f"{what} index {index} out of range [0, {size})")
+
+
+def _find_parent(tree: Tree, target: TreeNode) -> TreeNode | None:
+    for node in tree.iter_preorder():
+        if any(child is target for child in node.children):
+            return node
+    return None
+
+
+def _delete_node(tree: Tree, nodes: list[TreeNode], index: int) -> None:
+    target = nodes[index]
+    if target is tree.root:
+        if len(target.children) != 1:
+            raise EditOperationError(
+                "cannot delete the root unless it has exactly one child "
+                f"(it has {len(target.children)})"
+            )
+        tree.root = target.children[0]
+        return
+    parent = _find_parent(tree, target)
+    assert parent is not None  # non-root nodes always have a parent
+    at = next(i for i, child in enumerate(parent.children) if child is target)
+    parent.children[at:at + 1] = target.children
+
+
+def _insert_node(parent: TreeNode, op: Insert) -> None:
+    if op.count < 0:
+        raise EditOperationError(f"insert count must be >= 0, got {op.count}")
+    if not 0 <= op.position <= len(parent.children):
+        raise EditOperationError(
+            f"insert position {op.position} out of range "
+            f"[0, {len(parent.children)}]"
+        )
+    if op.position + op.count > len(parent.children):
+        raise EditOperationError(
+            f"insert adopts children [{op.position}, {op.position + op.count}) "
+            f"but parent has only {len(parent.children)} children"
+        )
+    adopted = parent.children[op.position:op.position + op.count]
+    new_node = TreeNode(op.label, adopted)
+    parent.children[op.position:op.position + op.count] = [new_node]
+
+
+def random_edit(
+    tree: Tree,
+    rng: random.Random,
+    labels: Sequence[str],
+    kind_weights: Sequence[float] = (1.0, 1.0, 1.0),
+) -> EditOperation:
+    """Draw one random valid edit operation for ``tree``.
+
+    The operation kind is drawn from ``kind_weights`` over
+    ``(insert, delete, rename)`` — uniform by default, as in the paper's
+    synthetic data mutation ([27]'s decay factor) — falling back to another
+    kind when the drawn one has no valid instance (e.g. delete on a
+    single-node tree whose root has no single child).
+    """
+    size = tree.size
+    nodes = list(tree.iter_preorder())
+    all_kinds = ["insert", "delete", "rename"]
+    first = rng.choices(all_kinds, weights=kind_weights, k=1)[0]
+    kinds = [first] + [k for k in all_kinds if k != first]
+    for kind in kinds:
+        if kind == "rename":
+            index = rng.randrange(size)
+            current = nodes[index].label
+            choices = [lab for lab in labels if lab != current]
+            if not choices:
+                continue
+            return Rename(index, rng.choice(choices))
+        if kind == "insert":
+            parent_index = rng.randrange(size)
+            parent = nodes[parent_index]
+            position = rng.randrange(len(parent.children) + 1)
+            max_count = len(parent.children) - position
+            count = rng.randint(0, max_count)
+            return Insert(parent_index, position, count, rng.choice(list(labels)))
+        if kind == "delete":
+            deletable = [
+                i
+                for i, node in enumerate(nodes)
+                if node is not tree.root or len(node.children) == 1
+            ]
+            if not deletable:
+                continue
+            return Delete(rng.choice(deletable))
+    raise EditOperationError("no valid edit operation exists for this tree")
+
+
+def random_script(
+    tree: Tree,
+    k: int,
+    rng: random.Random,
+    labels: Sequence[str],
+) -> tuple[Tree, list[EditOperation]]:
+    """Apply ``k`` random edits, returning the edited tree and the script.
+
+    The returned tree satisfies ``TED(tree, edited) <= k`` by construction.
+    """
+    ops: list[EditOperation] = []
+    current = tree
+    for _ in range(k):
+        op = random_edit(current, rng, labels)
+        current = apply_edit(current, op)
+        ops.append(op)
+    return current, ops

@@ -1,0 +1,74 @@
+"""Knuth's left-child/right-sibling transformation and its inverse.
+
+``to_lcrs`` maps a general rooted ordered labeled tree to its LC-RS binary
+tree (paper Figure 4): a binary node's ``left`` pointer leads to the node's
+leftmost child in the general tree and its ``right`` pointer leads to the
+node's next sibling.  The transformation is a bijection on trees whose root
+has no sibling, so ``from_lcrs`` recovers the original tree exactly; node
+labels and node count are preserved.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TreeFormatError
+from repro.tree.binary import BinaryNode, BinaryTree
+from repro.tree.node import Tree, TreeNode
+
+__all__ = ["to_lcrs", "from_lcrs"]
+
+
+def to_lcrs(tree: Tree) -> BinaryTree:
+    """Return the LC-RS binary representation of ``tree``.
+
+    The conversion is iterative so arbitrarily deep trees are safe.
+
+    >>> t = Tree.from_bracket("{a{b}{c}{d}}")
+    >>> b = to_lcrs(t)
+    >>> b.root.label, b.root.left.label, b.root.left.right.label
+    ('a', 'b', 'c')
+    """
+    binary_root = BinaryNode(tree.root.label)
+    # Each work item links a general node (whose children we still need to
+    # wire) to its already-created binary twin.
+    stack: list[tuple[TreeNode, BinaryNode]] = [(tree.root, binary_root)]
+    while stack:
+        general, binary = stack.pop()
+        previous: BinaryNode | None = None
+        for child in general.children:
+            twin = BinaryNode(child.label)
+            if previous is None:
+                binary.set_left(twin)  # leftmost child
+            else:
+                previous.set_right(twin)  # next sibling
+            stack.append((child, twin))
+            previous = twin
+    return BinaryTree(binary_root)
+
+
+def from_lcrs(binary: BinaryTree) -> Tree:
+    """Invert :func:`to_lcrs`.
+
+    Raises
+    ------
+    TreeFormatError
+        If the binary root has a right child: a general tree's root has no
+        sibling, so such a binary tree is not a valid LC-RS image.
+    """
+    if binary.root.right is not None:
+        raise TreeFormatError(
+            "binary root has a right (sibling) pointer; "
+            "not a valid LC-RS image of a single tree"
+        )
+    general_root = TreeNode(binary.root.label)
+    # Work items pair a binary node whose left pointer is unprocessed with
+    # the general-tree node that is its twin.  Sibling chains are unrolled
+    # inline so the loop visits each binary node exactly once.
+    stack: list[tuple[BinaryNode, TreeNode]] = [(binary.root, general_root)]
+    while stack:
+        bnode, gnode = stack.pop()
+        sibling = bnode.left  # leftmost child of gnode, then its sibling chain
+        while sibling is not None:
+            child = gnode.add_child(TreeNode(sibling.label))
+            stack.append((sibling, child))
+            sibling = sibling.right
+    return Tree(general_root)

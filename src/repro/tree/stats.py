@@ -1,0 +1,127 @@
+"""Shape statistics for trees and collections.
+
+The paper characterizes each dataset with: number of trees, average tree
+size, number of distinct labels, average depth, and maximum depth (Section
+4).  :func:`tree_stats` and :func:`collection_stats` compute exactly those
+plus fanout statistics, so the dataset simulators in
+:mod:`repro.datasets.realistic` can be validated against the paper's
+published numbers.
+
+Depth convention: the root is at depth 0, matching the paper's figures
+(e.g. Swissprot's "maximum depth 4" for trees of 5 levels).  The *average
+depth* of a tree is the mean depth over all of its nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.tree.node import Tree, TreeNode
+
+__all__ = ["TreeStats", "CollectionStats", "tree_stats", "collection_stats"]
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Shape summary of one tree."""
+
+    size: int
+    depth: int  # maximum node depth, root = 0
+    average_depth: float  # mean node depth
+    max_fanout: int
+    leaf_count: int
+    distinct_labels: int
+
+    @property
+    def average_fanout(self) -> float:
+        """Mean out-degree over internal nodes (0 for a single-node tree)."""
+        internal = self.size - self.leaf_count
+        if internal == 0:
+            return 0.0
+        return (self.size - 1) / internal
+
+
+@dataclass(frozen=True)
+class CollectionStats:
+    """Shape summary of a tree collection, in the paper's Section 4 format."""
+
+    count: int
+    average_size: float
+    distinct_labels: int
+    average_depth: float  # mean over trees of the per-tree average depth
+    max_depth: int
+    max_size: int
+    min_size: int
+
+    def describe(self) -> str:
+        """One-line summary in the style of the paper's dataset paragraphs."""
+        return (
+            f"{self.count} trees (average tree size {self.average_size:.2f}, "
+            f"number of distinct labels {self.distinct_labels}, "
+            f"average depth {self.average_depth:.2f}, "
+            f"maximum depth {self.max_depth})"
+        )
+
+
+def tree_stats(tree: Tree) -> TreeStats:
+    """Compute :class:`TreeStats` for one tree in a single traversal."""
+    size = 0
+    depth_sum = 0
+    max_depth = 0
+    max_fanout = 0
+    leaves = 0
+    labels: set[str] = set()
+    stack: list[tuple[TreeNode, int]] = [(tree.root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        size += 1
+        depth_sum += depth
+        max_depth = max(max_depth, depth)
+        max_fanout = max(max_fanout, len(node.children))
+        labels.add(node.label)
+        if node.is_leaf:
+            leaves += 1
+        for child in node.children:
+            stack.append((child, depth + 1))
+    return TreeStats(
+        size=size,
+        depth=max_depth,
+        average_depth=depth_sum / size,
+        max_fanout=max_fanout,
+        leaf_count=leaves,
+        distinct_labels=len(labels),
+    )
+
+
+def collection_stats(trees: Sequence[Tree] | Iterable[Tree]) -> CollectionStats:
+    """Compute :class:`CollectionStats` over a collection.
+
+    Raises
+    ------
+    ValueError
+        If the collection is empty.
+    """
+    trees = list(trees)
+    if not trees:
+        raise ValueError("cannot compute statistics of an empty collection")
+    labels: set[str] = set()
+    sizes: list[int] = []
+    avg_depths: list[float] = []
+    max_depth = 0
+    for tree in trees:
+        stats = tree_stats(tree)
+        sizes.append(stats.size)
+        avg_depths.append(stats.average_depth)
+        max_depth = max(max_depth, stats.depth)
+        for node in tree.iter_preorder():
+            labels.add(node.label)
+    return CollectionStats(
+        count=len(trees),
+        average_size=sum(sizes) / len(sizes),
+        distinct_labels=len(labels),
+        average_depth=sum(avg_depths) / len(avg_depths),
+        max_depth=max_depth,
+        max_size=max(sizes),
+        min_size=min(sizes),
+    )

@@ -1,0 +1,60 @@
+"""Structural validation helpers for trees.
+
+These checks are used by tests and by dataset loaders to fail fast on
+corrupted inputs: a tree must be acyclic, each node must appear exactly once
+(no shared subtrees), and binary trees must have consistent parent
+back-pointers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TreeFormatError
+from repro.tree.binary import BinaryTree
+from repro.tree.node import Tree
+
+__all__ = ["validate_tree", "validate_binary_tree"]
+
+
+def validate_tree(tree: Tree) -> None:
+    """Raise :class:`TreeFormatError` if ``tree`` shares or repeats nodes.
+
+    A well-formed tree visits every node exactly once in preorder; a node
+    reachable twice means the children lists alias each other (a DAG, not a
+    tree) which would silently corrupt edit operations and TED values.
+    """
+    seen: set[int] = set()
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        ident = id(node)
+        if ident in seen:
+            raise TreeFormatError(
+                f"node {node.label!r} is reachable more than once: "
+                "the structure is a DAG, not a tree"
+            )
+        seen.add(ident)
+        stack.extend(node.children)
+
+
+def validate_binary_tree(binary: BinaryTree) -> None:
+    """Raise :class:`TreeFormatError` on broken parent links or sharing."""
+    seen: set[int] = set()
+    stack = [binary.root]
+    if binary.root.parent is not None:
+        raise TreeFormatError("binary root must not have a parent pointer")
+    while stack:
+        node = stack.pop()
+        ident = id(node)
+        if ident in seen:
+            raise TreeFormatError(
+                f"binary node {node.label!r} is reachable more than once"
+            )
+        seen.add(ident)
+        for child in (node.left, node.right):
+            if child is None:
+                continue
+            if child.parent is not node:
+                raise TreeFormatError(
+                    f"binary node {child.label!r} has a stale parent pointer"
+                )
+            stack.append(child)

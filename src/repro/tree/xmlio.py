@@ -1,0 +1,103 @@
+"""XML to tree conversion, following the paper's Figure 1 convention.
+
+The paper's real datasets (Swissprot, Treebank) are XML documents whose tags
+*and* text are treated as node labels.  :func:`tree_from_xml` reproduces
+that: each element becomes a node labeled with its tag, and every
+non-whitespace text fragment becomes a child node labeled with the text.
+Attributes can optionally be materialized as ``name=value`` child nodes.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.errors import TreeFormatError
+from repro.tree.node import Tree, TreeNode
+
+__all__ = ["tree_from_xml", "tree_from_xml_file", "tree_to_xml"]
+
+
+def tree_from_xml(xml_text: str, include_attributes: bool = False) -> Tree:
+    """Parse an XML document string into a :class:`Tree`.
+
+    Parameters
+    ----------
+    xml_text:
+        The document.  Must have a single root element.
+    include_attributes:
+        When True, each attribute becomes a child node labeled
+        ``"name=value"``, ordered before element children (attribute order
+        follows the document).
+
+    Raises
+    ------
+    TreeFormatError
+        If the document is not well-formed XML.
+    """
+    try:
+        element = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise TreeFormatError(f"malformed XML: {exc}") from exc
+    return Tree(_convert_element(element, include_attributes))
+
+
+def tree_from_xml_file(path: str | Path, include_attributes: bool = False) -> Tree:
+    """Parse the XML document at ``path`` into a :class:`Tree`."""
+    text = Path(path).read_text(encoding="utf-8")
+    return tree_from_xml(text, include_attributes=include_attributes)
+
+
+def _convert_element(element: ET.Element, include_attributes: bool) -> TreeNode:
+    node = TreeNode(element.tag)
+    if include_attributes:
+        for name, value in element.attrib.items():
+            node.add_child(TreeNode(f"{name}={value}"))
+    text = (element.text or "").strip()
+    if text:
+        node.add_child(TreeNode(text))
+    for child in element:
+        node.add_child(_convert_element(child, include_attributes))
+        tail = (child.tail or "").strip()
+        if tail:
+            node.add_child(TreeNode(tail))
+    return node
+
+
+def tree_to_xml(tree: Tree) -> str:
+    """Render a tree as nested XML elements.
+
+    Leaf nodes whose labels are not valid XML names are emitted as text
+    content of their parent; other nodes become elements.  This is a lossy
+    convenience for eyeballing trees, not a round-trip format (use bracket
+    notation for that).
+    """
+    return _render(tree.root)
+
+
+def _render(node: TreeNode) -> str:
+    tag = _sanitize_tag(node.label)
+    if node.is_leaf:
+        return f"<{tag}/>"
+    inner = "".join(
+        _render(child) if not _is_textual_leaf(child) else _escape_text(child.label)
+        for child in node.children
+    )
+    return f"<{tag}>{inner}</{tag}>"
+
+
+def _is_textual_leaf(node: TreeNode) -> bool:
+    return node.is_leaf and not node.label.replace("_", "").replace("-", "").isalnum()
+
+
+def _sanitize_tag(label: str) -> str:
+    cleaned = "".join(ch if ch.isalnum() or ch in "_-." else "_" for ch in label)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = "n_" + cleaned
+    return cleaned
+
+
+def _escape_text(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

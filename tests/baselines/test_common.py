@@ -1,0 +1,112 @@
+"""Tests for shared join plumbing (repro.baselines.common)."""
+
+import pytest
+
+from repro.baselines.common import (
+    JoinPair,
+    JoinResult,
+    JoinStats,
+    SizeSortedCollection,
+    Verifier,
+    check_join_inputs,
+)
+from repro.errors import InvalidParameterError
+from repro.ted.zhang_shasha import zhang_shasha
+from repro.tree.node import Tree
+from tests.conftest import make_random_tree
+
+
+class TestSizeSortedCollection:
+    def test_order_is_ascending_by_size(self, rng):
+        trees = [make_random_tree(rng, size) for size in (9, 2, 5, 7, 2)]
+        collection = SizeSortedCollection(trees)
+        sizes = [collection.tree_at(p).size for p in range(len(trees))]
+        assert sizes == sorted(sizes)
+
+    def test_original_indices_preserved(self, rng):
+        trees = [make_random_tree(rng, size) for size in (9, 2, 5)]
+        collection = SizeSortedCollection(trees)
+        for position in range(3):
+            i = collection.original_index(position)
+            assert trees[i] is collection.tree_at(position)
+
+    def test_window_pairs_match_brute_force(self, rng):
+        trees = [make_random_tree(rng, rng.randint(2, 12)) for _ in range(12)]
+        collection = SizeSortedCollection(trees)
+        for tau in (0, 1, 3, 10):
+            got = {
+                tuple(sorted((collection.original_index(a), collection.original_index(b))))
+                for a, b in collection.iter_window_pairs(tau)
+            }
+            expected = {
+                (i, j)
+                for i in range(len(trees))
+                for j in range(i + 1, len(trees))
+                if abs(trees[i].size - trees[j].size) <= tau
+            }
+            assert got == expected
+
+    def test_window_pairs_yield_each_pair_once(self, rng):
+        trees = [make_random_tree(rng, 5) for _ in range(6)]  # all same size
+        collection = SizeSortedCollection(trees)
+        pairs = list(collection.iter_window_pairs(0))
+        assert len(pairs) == len(set(pairs)) == 15  # C(6, 2)
+
+    def test_make_pair_canonicalizes(self, rng):
+        trees = [make_random_tree(rng, 4), make_random_tree(rng, 3)]
+        collection = SizeSortedCollection(trees)
+        pair = collection.make_pair(0, 1, 2)  # positions, not indices
+        assert pair.i < pair.j
+
+
+class TestVerifier:
+    def test_distance_matches_zhang_shasha(self, rng):
+        trees = [make_random_tree(rng, rng.randint(2, 10)) for _ in range(6)]
+        verifier = Verifier(trees, tau=3)
+        for i in range(len(trees)):
+            for j in range(i + 1, len(trees)):
+                assert verifier.distance(i, j) == zhang_shasha(trees[i], trees[j])
+
+    def test_verify_threshold(self):
+        trees = [Tree.from_bracket("{a{b}}"), Tree.from_bracket("{a{b}{c}{d}}")]
+        assert Verifier(trees, tau=1).verify(0, 1) is None
+        assert Verifier(trees, tau=2).verify(0, 1) == 2
+
+    def test_counters_accumulate(self, rng):
+        trees = [make_random_tree(rng, 5) for _ in range(4)]
+        verifier = Verifier(trees, tau=2)
+        verifier.verify(0, 1)
+        verifier.verify(2, 3)
+        assert verifier.stats_ted_calls == 2
+        assert verifier.stats_time > 0
+
+    def test_annotations_are_cached(self, rng):
+        trees = [make_random_tree(rng, 8) for _ in range(3)]
+        verifier = Verifier(trees, tau=2)
+        verifier.verify(0, 1)
+        first = verifier._annotation(0)
+        verifier.verify(0, 2)
+        assert verifier._annotation(0) is first
+
+
+class TestResultTypes:
+    def test_join_pair_key(self):
+        assert JoinPair(2, 5, 1).key() == (2, 5)
+
+    def test_join_result_container(self):
+        pairs = [JoinPair(0, 1, 1), JoinPair(1, 2, 0)]
+        result = JoinResult(pairs=pairs, stats=JoinStats("X", 1, 3))
+        assert len(result) == 2
+        assert result.pair_set() == {(0, 1), (1, 2)}
+        assert list(result) == pairs
+
+    def test_stats_total_time(self):
+        stats = JoinStats("X", 1, 3, candidate_time=1.5, verify_time=0.5)
+        assert stats.total_time == 2.0
+
+    def test_check_join_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            check_join_inputs([Tree.from_bracket("{a}")], -2)
+        with pytest.raises(InvalidParameterError):
+            check_join_inputs([object()], 1)
+        check_join_inputs([Tree.from_bracket("{a}")], 0)  # fine

@@ -1,0 +1,55 @@
+"""All baseline joins must return exactly the brute-force result set."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.histogram_join import histogram_join
+from repro.baselines.nested_loop import nested_loop_join
+from repro.baselines.set_join import set_join
+from repro.baselines.str_join import str_join
+from tests.conftest import make_cluster_forest
+from tests.core.test_join_properties import clustered_forests
+
+BASELINES = [
+    ("STR", str_join),
+    ("SET", set_join),
+    ("HST", histogram_join),
+]
+
+
+@pytest.mark.parametrize("name,join", BASELINES)
+@pytest.mark.parametrize("tau", [0, 1, 2, 3])
+def test_baselines_match_brute_force(rng, name, join, tau):
+    trees = make_cluster_forest(
+        rng, clusters=4, cluster_size=4, base_size=9, max_edits=3
+    )
+    truth = nested_loop_join(trees, tau).pair_set()
+    assert join(trees, tau).pair_set() == truth, name
+
+
+@given(forest=clustered_forests(), tau=st.integers(min_value=0, max_value=3))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_baselines_match_brute_force_property(forest, tau):
+    truth = nested_loop_join(forest, tau).pair_set()
+    for name, join in BASELINES:
+        assert join(forest, tau).pair_set() == truth, name
+
+
+@given(forest=clustered_forests(), tau=st.integers(min_value=0, max_value=3))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_nested_loop_bounds_do_not_change_results(forest, tau):
+    with_bounds = nested_loop_join(forest, tau, use_bounds=True)
+    without = nested_loop_join(forest, tau, use_bounds=False)
+    assert with_bounds.pair_set() == without.pair_set()
+    distances_a = {p.key(): p.distance for p in with_bounds.pairs}
+    distances_b = {p.key(): p.distance for p in without.pairs}
+    assert distances_a == distances_b

@@ -1,0 +1,42 @@
+"""Tests for the ground-truth nested-loop join (repro.baselines.nested_loop)."""
+
+from repro.baselines.nested_loop import nested_loop_join
+from repro.ted.zhang_shasha import zhang_shasha
+from repro.tree.node import Tree
+from tests.conftest import make_cluster_forest, make_random_tree
+
+
+class TestGroundTruth:
+    def test_matches_pairwise_ted(self, rng):
+        trees = [make_random_tree(rng, rng.randint(2, 9)) for _ in range(8)]
+        tau = 2
+        expected = {
+            (i, j)
+            for i in range(len(trees))
+            for j in range(i + 1, len(trees))
+            if zhang_shasha(trees[i], trees[j]) <= tau
+        }
+        assert nested_loop_join(trees, tau).pair_set() == expected
+
+    def test_reports_exact_distances(self, rng):
+        trees = [make_random_tree(rng, rng.randint(2, 8)) for _ in range(6)]
+        for pair in nested_loop_join(trees, 3).pairs:
+            assert pair.distance == zhang_shasha(trees[pair.i], trees[pair.j])
+            assert pair.distance <= 3
+
+    def test_size_filter_skips_far_pairs(self):
+        trees = [Tree.from_bracket("{a}"), Tree.from_bracket("{a{b}{c}{d}}")]
+        stats = nested_loop_join(trees, 1).stats
+        assert stats.pairs_considered == 0
+
+    def test_bounds_reduce_candidates_not_results(self, rng):
+        trees = make_cluster_forest(
+            rng, clusters=4, cluster_size=3, base_size=10, max_edits=4
+        )
+        with_bounds = nested_loop_join(trees, 1, use_bounds=True)
+        without = nested_loop_join(trees, 1, use_bounds=False)
+        assert with_bounds.pair_set() == without.pair_set()
+        assert with_bounds.stats.candidates <= without.stats.candidates
+
+    def test_stats_method_label(self, sample_forest):
+        assert nested_loop_join(sample_forest, 1).stats.method == "NL"

@@ -1,0 +1,124 @@
+"""Tests for the experiment registry (repro.bench.experiments)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    SCALES,
+    Scale,
+    build_dataset,
+    get_scale,
+    run_experiment,
+)
+from repro.errors import InvalidParameterError
+
+# A deliberately tiny scale so registry smoke tests stay fast.
+TINY = Scale(
+    name="tiny",
+    join_count=14,
+    taus=(1,),
+    cardinalities=(8, 14),
+    card_tau=1,
+    sens_count=12,
+    sens_tau=1,
+    fanouts=(2, 4),
+    depths=(4, 6),
+    label_counts=(5, 20),
+    tree_sizes=(15, 25),
+    ablation_count=14,
+    datasets=("sentiment",),
+)
+
+
+class TestScales:
+    def test_known_scales_registered(self):
+        assert {"smoke", "small", "medium"} <= set(SCALES)
+
+    def test_get_scale_default_and_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert get_scale().name == "small"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+        assert get_scale("medium").name == "medium"
+
+    def test_unknown_scale(self):
+        with pytest.raises(InvalidParameterError):
+            get_scale("galactic")
+
+    def test_small_scale_matches_table1_grids(self):
+        scale = SCALES["small"]
+        assert scale.fanouts == (2, 3, 4, 5, 6)
+        assert scale.depths == (4, 5, 6, 7, 8)
+        assert scale.label_counts == (3, 5, 10, 20, 50)
+        assert scale.tree_sizes == (40, 80, 120, 160, 200)
+        assert scale.taus == (1, 2, 3, 4, 5)
+        assert scale.card_tau == 3
+
+
+class TestBuildDataset:
+    @pytest.mark.parametrize("name", ["swissprot", "treebank", "sentiment",
+                                      "synthetic"])
+    def test_all_four_datasets(self, name):
+        trees = build_dataset(name, 10)
+        assert len(trees) == 10
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError):
+            build_dataset("wikipedia", 10)
+
+    def test_deterministic_by_seed(self):
+        a = [t.to_bracket() for t in build_dataset("treebank", 8, seed=1)]
+        b = [t.to_bracket() for t in build_dataset("treebank", 8, seed=1)]
+        assert a == b
+
+
+class TestRegistry:
+    def test_every_figure_has_an_experiment(self):
+        for required in ("fig10", "fig11", "fig12", "fig13",
+                         "fig14f", "fig14d", "fig14l", "fig14t",
+                         "ablation_partitioning", "ablation_filters",
+                         "ablation_str_banding"):
+            assert required in EXPERIMENTS
+
+    def test_unknown_experiment(self):
+        with pytest.raises(InvalidParameterError):
+            run_experiment("fig99")
+
+    def test_fig10_11_cells_cover_grid(self):
+        cells = run_experiment("fig10", scale=TINY)
+        assert {c.method for c in cells} == {"STR", "SET", "PRT", "REL"}
+        assert {c.x_value for c in cells} == set(TINY.taus)
+        assert {c.dataset for c in cells} == {"sentiment"}
+        # All methods agree on the result count per workload.
+        by_x = {}
+        for cell in cells:
+            by_x.setdefault(cell.x_value, set()).add(cell.results)
+        assert all(len(counts) == 1 for counts in by_x.values())
+
+    def test_fig12_13_prefix_subsets(self):
+        cells = run_experiment("fig12", scale=TINY)
+        assert {c.x_value for c in cells} == set(TINY.cardinalities)
+
+    def test_fig14_parameter_sweep(self):
+        cells = run_experiment("fig14f", scale=TINY)
+        assert {c.x_value for c in cells} == set(TINY.fanouts)
+        assert all(c.x_name == "fanout" for c in cells)
+
+    def test_ablation_partitioning_strategies(self):
+        cells = run_experiment("ablation_partitioning", scale=TINY)
+        assert {c.method for c in cells} == {"PRT[maxmin]", "PRT[random]"}
+        # Both strategies are exact: same result counts per tau.
+        for tau in TINY.taus:
+            counts = {c.results for c in cells if c.x_value == tau}
+            assert len(counts) == 1
+
+    def test_ablation_filters_soundness_column(self):
+        cells = run_experiment("ablation_filters", scale=TINY)
+        rel = next(c for c in cells if c.method == "REL")
+        for cell in cells:
+            assert cell.results <= rel.results  # never over-report
+            if cell.method == "REL":
+                continue
+            window = cell.method.split("/")[1].rstrip("]")
+            if window != "paper":  # sound windows must be exact
+                assert cell.results == rel.results, cell.method

@@ -1,0 +1,70 @@
+"""Tests for benchmark table rendering (repro.bench.reporting)."""
+
+from repro.bench.harness import CellResult
+from repro.bench.reporting import (
+    candidates_table,
+    format_table,
+    render_figure,
+    runtime_table,
+)
+
+
+def cell(method, x, dataset="ds", candidates=10, results=5):
+    return CellResult(
+        experiment="exp",
+        dataset=dataset,
+        method=method,
+        x_name="tau",
+        x_value=x,
+        candidate_time=0.5,
+        verify_time=1.5,
+        candidates=candidates,
+        results=results,
+        ted_calls=candidates,
+        wall_time=2.1,
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_markdown(self):
+        table = format_table(["a", "long header"], [[1, 2], ["xyz", 4]])
+        lines = table.splitlines()
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-"}
+        assert all(line.startswith("|") and line.endswith("|") for line in lines)
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+
+class TestFigureTables:
+    def test_runtime_table_excludes_rel(self):
+        cells = [cell("STR", 1), cell("PRT", 1), cell("REL", 1)]
+        table = runtime_table(cells, "ds")
+        assert "STR" in table and "PRT" in table
+        assert "REL" not in table
+
+    def test_candidates_table_uses_results_for_rel(self):
+        cells = [
+            cell("PRT", 1, candidates=42, results=5),
+            cell("REL", 1, candidates=99, results=5),
+        ]
+        table = candidates_table(cells, "ds")
+        assert "42" in table
+        assert "99" not in table  # REL shows its result count, 5
+        assert "| 1" in table
+
+    def test_method_column_order(self):
+        cells = [cell(m, 1) for m in ("PRT", "REL", "STR", "SET")]
+        header = candidates_table(cells, "ds").splitlines()[0]
+        assert header.index("SET") < header.index("STR") < header.index("PRT")
+
+    def test_sparse_grid_dash(self):
+        cells = [cell("PRT", 1), cell("STR", 2)]
+        table = candidates_table(cells, "ds")
+        assert "-" in table
+
+    def test_render_figure_sections(self):
+        cells = [cell("PRT", 1, dataset="d1"), cell("PRT", 1, dataset="d2")]
+        text = render_figure("My Figure", cells)
+        assert text.startswith("== My Figure ==")
+        assert "-- dataset: d1 --" in text
+        assert "-- dataset: d2 --" in text

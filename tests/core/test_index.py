@@ -1,0 +1,130 @@
+"""Tests for the two-layer subgraph index (repro.core.index)."""
+
+import pytest
+
+from repro.core.index import InvertedSizeIndex, PostorderFilter, TwoLayerIndex
+from repro.core.partition import extract_partition
+from repro.core.subgraph import EPSILON
+from repro.core.treecache import TreeCache
+from repro.errors import InvalidParameterError
+from repro.tree.node import Tree
+from tests.conftest import make_random_tree
+
+
+def build_subgraphs(rng, size, delta):
+    tree = make_random_tree(rng, size)
+    cache = TreeCache(tree)
+    return cache, extract_partition(cache, owner=7, delta=delta)
+
+
+class TestWindowArithmetic:
+    def test_paper_window_shrinks_with_rank(self, rng):
+        tau = 3
+        cache, subs = build_subgraphs(rng, 30, 2 * tau + 1)
+        index = TwoLayerIndex(tau, PostorderFilter.PAPER)
+        for sub in subs:
+            assert index.window(sub) == max(0, tau - sub.rank // 2)
+        # rank 1 gets the full window, the last rank gets zero.
+        assert index.window(subs[0]) == tau
+        assert index.window(subs[-1]) == 0
+
+    def test_safe_window_is_constant(self, rng):
+        tau = 2
+        cache, subs = build_subgraphs(rng, 20, 2 * tau + 1)
+        index = TwoLayerIndex(tau, PostorderFilter.SAFE)
+        assert all(index.window(sub) == tau for sub in subs)
+
+
+class TestInsertProbe:
+    def test_subgraph_retrievable_at_every_window_key(self, rng):
+        tau = 2
+        cache, subs = build_subgraphs(rng, 25, 2 * tau + 1)
+        index = TwoLayerIndex(tau, PostorderFilter.SAFE)
+        for sub in subs:
+            index.insert(sub)
+        assert index.count == len(subs)
+        for sub in subs:
+            label, left, right = sub.twig
+            for offset in range(-tau, tau + 1):
+                hits = list(
+                    index.probe(sub.postorder_id + offset, label, left, right)
+                )
+                assert sub in hits
+
+    def test_probe_outside_window_misses(self, rng):
+        tau = 1
+        cache, subs = build_subgraphs(rng, 15, 2 * tau + 1)
+        index = TwoLayerIndex(tau, PostorderFilter.SAFE)
+        index.insert(subs[0])
+        label, left, right = subs[0].twig
+        hits = list(index.probe(subs[0].postorder_id + tau + 1, label, left, right))
+        assert subs[0] not in hits
+
+    def test_probe_with_actual_child_labels_finds_epsilon_twigs(self, rng):
+        # A probe node may have real children where the stored twig has
+        # epsilon (dangling/empty slots): the epsilon key variants cover it.
+        tau = 1
+        cache, subs = build_subgraphs(rng, 15, 3)
+        index = TwoLayerIndex(tau, PostorderFilter.SAFE)
+        target = next(s for s in subs if EPSILON in s.twig[1:])
+        index.insert(target)
+        hits = list(
+            index.probe(target.postorder_id, target.twig[0], "anything", "else")
+        )
+        if target.twig[1] == EPSILON and target.twig[2] == EPSILON:
+            assert target in hits
+
+    def test_wrong_label_never_returned(self, rng):
+        tau = 1
+        cache, subs = build_subgraphs(rng, 15, 3)
+        index = TwoLayerIndex(tau, PostorderFilter.SAFE)
+        for sub in subs:
+            index.insert(sub)
+        hits = list(index.probe(subs[0].postorder_id, "no-such-label", "x", "y"))
+        assert hits == []
+
+    def test_no_duplicates_in_probe_results(self, rng):
+        tau = 2
+        cache, subs = build_subgraphs(rng, 25, 5)
+        index = TwoLayerIndex(tau, PostorderFilter.SAFE)
+        for sub in subs:
+            index.insert(sub)
+        for sub in subs:
+            label, left, right = sub.twig
+            hits = list(index.probe(sub.postorder_id, label, left, right))
+            assert len(hits) == len(set(map(id, hits)))
+
+    def test_off_mode_ignores_postorder(self, rng):
+        tau = 1
+        cache, subs = build_subgraphs(rng, 15, 3)
+        index = TwoLayerIndex(tau, PostorderFilter.OFF)
+        for sub in subs:
+            index.insert(sub)
+        for sub in subs:
+            label, left, right = sub.twig
+            hits = list(index.probe(999_999, label, left, right))
+            assert sub in hits
+
+
+class TestInvertedSizeIndex:
+    def test_per_size_isolation(self, rng):
+        index = InvertedSizeIndex(tau=1, postorder_filter="safe")
+        cache_a, subs_a = build_subgraphs(rng, 12, 3)
+        cache_b, subs_b = build_subgraphs(rng, 18, 3)
+        index.insert_all(12, subs_a)
+        index.insert_all(18, subs_b)
+        assert index.sizes() == [12, 18]
+        assert index.total_subgraphs == 6
+        assert index.for_size(12).count == 3
+        assert index.for_size(99) is None
+        assert index.for_size(99, create=True).count == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            InvertedSizeIndex(tau=-1)
+        with pytest.raises(InvalidParameterError):
+            InvertedSizeIndex(tau=1, postorder_filter="nope")
+
+    def test_postorder_filter_coercion(self):
+        index = InvertedSizeIndex(tau=1, postorder_filter=PostorderFilter.PAPER)
+        assert index.postorder_filter is PostorderFilter.PAPER

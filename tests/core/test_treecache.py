@@ -1,0 +1,62 @@
+"""Tests for the per-tree probe cache (repro.core.treecache)."""
+
+from repro.core.treecache import TreeCache
+from repro.tree.lcrs import to_lcrs
+from repro.tree.node import Tree
+from tests.conftest import make_random_tree
+
+
+class TestTreeCache:
+    def test_binary_matches_standalone_transform(self, rng):
+        tree = make_random_tree(rng, 25)
+        cache = TreeCache(tree)
+        assert cache.binary == to_lcrs(tree)
+        assert cache.size == 25
+
+    def test_binary_numbers_are_a_bijection(self, rng):
+        tree = make_random_tree(rng, 30)
+        cache = TreeCache(tree)
+        numbers = [cache.binary_number(node) for node in cache.binary_postorder]
+        assert numbers == list(range(1, 31))
+        for number in range(1, 31):
+            node = cache.node_at_binary_number(number)
+            assert cache.binary_number(node) == number
+
+    def test_general_postorder_matches_general_traversal(self):
+        tree = Tree.from_bracket("{a{b{d}{e}}{c}}")
+        cache = TreeCache(tree)
+        # General postorder: d=1, e=2, b=3, c=4, a=5.  Look the labels up
+        # through the binary twins.
+        by_number = {
+            cache.general_postorder(node): node.label
+            for node in cache.binary_postorder
+        }
+        assert by_number == {1: "d", 2: "e", 3: "b", 4: "c", 5: "a"}
+
+    def test_general_postorder_is_a_permutation(self, rng):
+        tree = make_random_tree(rng, 40)
+        cache = TreeCache(tree)
+        numbers = sorted(
+            cache.general_postorder(node) for node in cache.binary_postorder
+        )
+        assert numbers == list(range(1, 41))
+
+    def test_root_has_max_number_in_both_orders(self, rng):
+        tree = make_random_tree(rng, 20)
+        cache = TreeCache(tree)
+        root = cache.binary.root
+        assert cache.binary_number(root) == 20
+        assert cache.general_postorder(root) == 20
+
+    def test_binary_and_general_numbering_can_differ(self):
+        # {a{b{x}}{c}}: general postorder x=1,b=2,c=3,a=4.
+        # Binary postorder: x's subtree... c comes before x's parent chain.
+        tree = Tree.from_bracket("{a{b{x}}{c}}")
+        cache = TreeCache(tree)
+        pairs = {
+            node.label: (cache.binary_number(node), cache.general_postorder(node))
+            for node in cache.binary_postorder
+        }
+        assert pairs["a"] == (4, 4)
+        # The two numberings agree on the root but differ somewhere else.
+        assert any(b != g for b, g in pairs.values())

@@ -1,0 +1,62 @@
+"""Tests for dataset file IO (repro.datasets.io)."""
+
+import pytest
+
+from repro.datasets.io import iter_trees, load_trees, save_trees
+from repro.datasets.synthetic import SyntheticParams, generate_forest
+from repro.errors import TreeFormatError
+from repro.tree.node import Tree
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        forest = generate_forest(15, SyntheticParams(avg_size=12), seed=1)
+        path = tmp_path / "forest.trees"
+        assert save_trees(forest, path) == 15
+        loaded = load_trees(path)
+        assert loaded == forest
+
+    def test_gzip_round_trip(self, tmp_path):
+        forest = generate_forest(10, SyntheticParams(avg_size=10), seed=2)
+        path = tmp_path / "forest.trees.gz"
+        save_trees(forest, path)
+        assert load_trees(path) == forest
+        # Compressed output must actually be gzip.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_comment_header_written_and_skipped(self, tmp_path):
+        path = tmp_path / "annotated.trees"
+        save_trees([Tree.from_bracket("{a}")], path, comment="hello\nworld")
+        text = path.read_text()
+        assert text.startswith("# hello\n# world\n")
+        assert load_trees(path) == [Tree.from_bracket("{a}")]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "x.trees"
+        save_trees([Tree.from_bracket("{a}")], path)
+        assert path.exists()
+
+
+class TestStreaming:
+    def test_iter_is_lazy(self, tmp_path):
+        path = tmp_path / "big.trees"
+        save_trees([Tree.from_bracket("{a}")] * 100, path)
+        iterator = iter_trees(path)
+        assert next(iterator).root.label == "a"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.trees"
+        path.write_text("{a}\n\n\n{b}\n")
+        assert [t.root.label for t in load_trees(path)] == ["a", "b"]
+
+
+class TestErrors:
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.trees"
+        path.write_text("{a}\n{broken\n")
+        with pytest.raises(TreeFormatError, match="bad.trees:2"):
+            load_trees(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trees(tmp_path / "nope.trees")

@@ -1,0 +1,113 @@
+"""Tests for the realistic dataset simulators (repro.datasets.realistic).
+
+The tolerances encode the substitution contract from DESIGN.md: each
+simulator must land near the paper's published shape statistics.
+"""
+
+import pytest
+
+from repro.datasets.realistic import (
+    DATASET_GENERATORS,
+    sentiment_like,
+    swissprot_like,
+    treebank_like,
+)
+from repro.errors import InvalidParameterError
+from repro.tree.stats import collection_stats
+
+
+@pytest.fixture(scope="module")
+def swissprot():
+    return swissprot_like(300, seed=1)
+
+
+@pytest.fixture(scope="module")
+def treebank():
+    return treebank_like(300, seed=1)
+
+
+@pytest.fixture(scope="module")
+def sentiment():
+    return sentiment_like(300, seed=1)
+
+
+class TestSwissprotShape:
+    """Paper: avg size 62.37, 84 labels, avg depth 2.65, max depth 4."""
+
+    def test_average_size(self, swissprot):
+        stats = collection_stats(swissprot)
+        assert 50 <= stats.average_size <= 75
+
+    def test_flat_profile(self, swissprot):
+        stats = collection_stats(swissprot)
+        assert 1.8 <= stats.average_depth <= 3.2
+        # Decay inserts can deepen a tree slightly beyond the schema's 4.
+        assert stats.max_depth <= 7
+
+    def test_label_alphabet(self, swissprot):
+        stats = collection_stats(swissprot)
+        assert 60 <= stats.distinct_labels <= 84
+
+
+class TestTreebankShape:
+    """Paper: avg size 45.12, 218 labels, avg depth 6.93, max depth 35."""
+
+    def test_average_size(self, treebank):
+        stats = collection_stats(treebank)
+        assert 35 <= stats.average_size <= 55
+
+    def test_deep_profile(self, treebank):
+        stats = collection_stats(treebank)
+        assert 4.5 <= stats.average_depth <= 9.5
+        assert stats.max_depth <= 40
+
+    def test_label_alphabet(self, treebank):
+        stats = collection_stats(treebank)
+        assert 150 <= stats.distinct_labels <= 218
+
+
+class TestSentimentShape:
+    """Paper: avg size 37.31, 5 labels, avg depth 10.84, max depth 30."""
+
+    def test_average_size(self, sentiment):
+        stats = collection_stats(sentiment)
+        assert 28 <= stats.average_size <= 46
+
+    def test_thin_deep_profile(self, sentiment):
+        stats = collection_stats(sentiment)
+        assert 6.0 <= stats.average_depth <= 14.0
+        assert stats.max_depth <= 34
+
+    def test_five_labels(self, sentiment):
+        stats = collection_stats(sentiment)
+        assert stats.distinct_labels == 5
+
+    def test_binary_parses(self, sentiment):
+        from repro.tree.stats import tree_stats
+
+        # Fanout 2 in the bases; decay inserts may occasionally create a
+        # third child, but the bulk of nodes must stay binary.
+        ternary = sum(1 for t in sentiment if tree_stats(t).max_fanout > 2)
+        assert ternary <= len(sentiment) * 0.2
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+    def test_deterministic(self, name):
+        gen = DATASET_GENERATORS[name]
+        a = [t.to_bracket() for t in gen(25, seed=3)]
+        b = [t.to_bracket() for t in gen(25, seed=3)]
+        assert a == b
+
+    @pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+    def test_count_validation(self, name):
+        with pytest.raises(InvalidParameterError):
+            DATASET_GENERATORS[name](0)
+
+    @pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+    def test_near_duplicates_exist(self, name):
+        # The tier distribution guarantees some exact duplicates per ~50
+        # trees (18% of variants copy their base verbatim).
+        trees = DATASET_GENERATORS[name](50, seed=6)
+        texts = [t.to_bracket() for t in trees]
+        assert len(set(texts)) < len(texts)

@@ -1,0 +1,111 @@
+"""Tests for the synthetic tree generator (repro.datasets.synthetic)."""
+
+import itertools
+
+import pytest
+
+from repro.datasets.synthetic import (
+    SyntheticParams,
+    TreeGenerator,
+    decay,
+    generate_forest,
+)
+from repro.errors import InvalidParameterError
+from repro.ted.api import ted_within
+from repro.tree.stats import collection_stats, tree_stats
+
+
+class TestParams:
+    def test_defaults_match_table1(self):
+        params = SyntheticParams()
+        assert (params.max_fanout, params.max_depth) == (3, 5)
+        assert (params.num_labels, params.avg_size) == (20, 80)
+        assert params.decay == pytest.approx(0.05)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_fanout": 0},
+        {"max_depth": -1},
+        {"num_labels": 0},
+        {"avg_size": 0},
+        {"decay": 1.5},
+        {"decay": -0.1},
+        {"cluster_size": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            SyntheticParams(**kwargs).validate()
+
+    def test_max_possible_size(self):
+        # f=2, d=2: 1 + 2 + 4
+        assert SyntheticParams(max_fanout=2, max_depth=2).max_possible_size() == 7
+
+    def test_label_universe(self):
+        assert len(SyntheticParams(num_labels=7).labels) == 7
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = generate_forest(20, seed=42)
+        b = generate_forest(20, seed=42)
+        c = generate_forest(20, seed=43)
+        assert [t.to_bracket() for t in a] == [t.to_bracket() for t in b]
+        assert [t.to_bracket() for t in a] != [t.to_bracket() for t in c]
+
+    def test_count_honoured(self):
+        assert len(generate_forest(37, seed=1)) == 37
+
+    def test_shape_caps_respected_before_decay(self):
+        params = SyntheticParams(max_fanout=2, max_depth=4, decay=0.0)
+        for tree in generate_forest(30, params, seed=5):
+            stats = tree_stats(tree)
+            assert stats.max_fanout <= 2
+            assert stats.depth <= 4
+
+    def test_average_size_near_target(self):
+        params = SyntheticParams(avg_size=60, decay=0.0)
+        stats = collection_stats(generate_forest(80, params, seed=2))
+        assert 48 <= stats.average_size <= 72
+
+    def test_labels_within_alphabet(self):
+        params = SyntheticParams(num_labels=5)
+        forest = generate_forest(20, params, seed=3)
+        allowed = set(params.labels)
+        for tree in forest:
+            assert set(tree.labels()) <= allowed
+
+    def test_clusters_contain_similar_pairs(self):
+        # With decay 0.05 on ~80-node trees, cluster members stay within a
+        # small TED of their base; at least some pairs must be <= 8 apart.
+        forest = generate_forest(12, SyntheticParams(cluster_size=4), seed=7)
+        close_pairs = 0
+        for a, b in itertools.combinations(range(4), 2):  # first cluster
+            if ted_within(forest[a], forest[b], 8) is not None:
+                close_pairs += 1
+        assert close_pairs >= 1
+
+    def test_stream_is_endless(self):
+        generator = TreeGenerator(SyntheticParams(avg_size=10), seed=1)
+        stream = generator.stream()
+        first = [next(stream) for _ in range(7)]
+        assert len(first) == 7
+
+
+class TestDecay:
+    def test_decay_zero_is_identity(self):
+        generator = TreeGenerator(SyntheticParams(decay=0.0), seed=1)
+        tree = generator.generate_tree()
+        assert generator.decay_tree(tree) == tree
+
+    def test_decay_standalone_function(self):
+        base = generate_forest(1, SyntheticParams(decay=0.0), seed=9)[0]
+        mutated = decay(base, dz=0.5, num_labels=20, seed=4)
+        assert mutated.size >= 1  # valid tree out
+
+    def test_decay_bounded_ted(self):
+        params = SyntheticParams(avg_size=20, decay=0.0)
+        generator = TreeGenerator(params, seed=11)
+        base = generator.generate_tree()
+        # Force a decay pass with a known mutation budget by using dz=1.0:
+        # every node flips once, so TED <= size of the base tree.
+        mutated = decay(base, dz=1.0, num_labels=20, seed=5)
+        assert ted_within(base, mutated, base.size) is not None

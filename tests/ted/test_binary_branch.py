@@ -1,0 +1,65 @@
+"""Tests for binary branches and the BIB distance (repro.ted.binary_branch)."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+
+from repro.ted.binary_branch import (
+    EPSILON,
+    binary_branch_distance,
+    binary_branches,
+    branch_bag_distance,
+)
+from repro.ted.zhang_shasha import zhang_shasha
+from repro.tree.node import Tree
+from tests.conftest import trees
+
+
+class TestBranchBags:
+    def test_single_node(self):
+        bag = binary_branches(Tree.from_bracket("{a}"))
+        assert bag == Counter({("a", EPSILON, EPSILON): 1})
+
+    def test_tree_has_one_branch_per_node(self):
+        tree = Tree.from_bracket("{a{b{x}{y}}{c}}")
+        assert sum(binary_branches(tree).values()) == tree.size
+
+    def test_branches_read_from_lcrs_structure(self):
+        # LC-RS of {a{b}{c}}: a.left=b, b.right=c.
+        bag = binary_branches(Tree.from_bracket("{a{b}{c}}"))
+        assert bag[("a", "b", EPSILON)] == 1
+        assert bag[("b", EPSILON, "c")] == 1
+        assert bag[("c", EPSILON, EPSILON)] == 1
+
+    def test_duplicate_twigs_counted_with_multiplicity(self):
+        tree = Tree.from_bracket("{a{x}{x}{x}}")
+        bag = binary_branches(tree)
+        assert bag[("x", EPSILON, "x")] == 2
+
+
+class TestDistance:
+    def test_identical_trees(self):
+        tree = Tree.from_bracket("{a{b}{c{d}}}")
+        assert binary_branch_distance(tree, tree) == 0
+
+    def test_figure3_value(self):
+        t1 = Tree.from_bracket("{a{b}{a{c}}}")
+        t2 = Tree.from_bracket("{a{b{a}{c}}}")
+        assert binary_branch_distance(t1, t2) == 4
+
+    def test_bag_distance_formula(self):
+        x1 = Counter({("a", "b", "c"): 2, ("d", EPSILON, EPSILON): 1})
+        x2 = Counter({("a", "b", "c"): 1})
+        # |X1| + |X2| - 2|X1 ∩ X2| = 3 + 1 - 2*1
+        assert branch_bag_distance(x1, x2) == 2
+
+    @given(t1=trees(max_size=10), t2=trees(max_size=10))
+    @settings(max_examples=80, deadline=None)
+    def test_five_ted_bound(self, t1, t2):
+        # Yang et al.'s theorem: BIB <= 5 * TED.
+        assert binary_branch_distance(t1, t2) <= 5 * zhang_shasha(t1, t2)
+
+    @given(t1=trees(max_size=10), t2=trees(max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, t1, t2):
+        assert binary_branch_distance(t1, t2) == binary_branch_distance(t2, t1)

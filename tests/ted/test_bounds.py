@@ -1,0 +1,105 @@
+"""Tests for TED lower/upper bounds (repro.ted.bounds).
+
+The central property: every lower bound must never exceed the exact TED,
+for any pair of trees.  Violations would make the baseline joins drop
+results, so these are the most safety-critical tests in the suite.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ted.bounds import (
+    binary_branch_lower_bound,
+    composite_lower_bound,
+    degree_histogram_lower_bound,
+    label_multiset_lower_bound,
+    size_lower_bound,
+    traversal_string_lower_bound,
+    trivial_upper_bound,
+)
+from repro.ted.zhang_shasha import zhang_shasha
+from repro.tree.node import Tree
+from tests.conftest import make_random_tree, trees
+
+ALL_LOWER_BOUNDS = [
+    size_lower_bound,
+    label_multiset_lower_bound,
+    degree_histogram_lower_bound,
+    traversal_string_lower_bound,
+    binary_branch_lower_bound,
+    composite_lower_bound,
+]
+
+
+class TestLowerBoundSoundness:
+    @pytest.mark.parametrize("bound", ALL_LOWER_BOUNDS)
+    @given(t1=trees(max_size=10), t2=trees(max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_never_exceeds_ted(self, bound, t1, t2):
+        assert bound(t1, t2) <= zhang_shasha(t1, t2)
+
+    def test_randomized_soundness_sweep(self, rng):
+        for _ in range(60):
+            t1 = make_random_tree(rng, rng.randint(1, 12))
+            t2 = make_random_tree(rng, rng.randint(1, 12))
+            exact = zhang_shasha(t1, t2)
+            for bound in ALL_LOWER_BOUNDS:
+                assert bound(t1, t2) <= exact, bound.__name__
+
+
+class TestKnownValues:
+    def test_size_bound(self):
+        t1 = Tree.from_bracket("{a{b}}")
+        t2 = Tree.from_bracket("{a{b}{c}{d}}")
+        assert size_lower_bound(t1, t2) == 2
+
+    def test_label_bound_counts_bag_moves(self):
+        t1 = Tree.from_bracket("{a{b}}")
+        t2 = Tree.from_bracket("{a{c}}")  # one rename: L1 = 2 -> bound 1
+        assert label_multiset_lower_bound(t1, t2) == 1
+
+    def test_label_bound_identical_bags(self):
+        t1 = Tree.from_bracket("{a{b}{c}}")
+        t2 = Tree.from_bracket("{a{c}{b}}")
+        assert label_multiset_lower_bound(t1, t2) == 0
+
+    def test_degree_bound(self):
+        star = Tree.from_bracket("{a{b}{c}{d}}")  # degrees: 3,0,0,0
+        chain = Tree.from_bracket("{a{b{c{d}}}}")  # degrees: 1,1,1,0
+        # L1 = |3:1-0| + |1:1-3| + |0:3-1| = 1+2+2 = 5 -> ceil(5/3) = 2
+        assert degree_histogram_lower_bound(star, chain) == 2
+
+    def test_traversal_bound_on_figure3(self):
+        # Paper: preorder SED 0, postorder SED 2 for the Figure 3 trees.
+        t1 = Tree.from_bracket("{a{b}{a{c}}}")
+        t2 = Tree.from_bracket("{a{b{a}{c}}}")
+        assert traversal_string_lower_bound(t1, t2) == 2
+
+    def test_binary_branch_bound_on_figure3(self):
+        t1 = Tree.from_bracket("{a{b}{a{c}}}")
+        t2 = Tree.from_bracket("{a{b{a}{c}}}")
+        # BIB = 4 on LC-RS representations -> ceil(4/5) = 1 <= TED = 3
+        assert binary_branch_lower_bound(t1, t2) == 1
+
+    def test_composite_takes_the_max(self):
+        t1 = Tree.from_bracket("{a{b}}")
+        t2 = Tree.from_bracket("{x{y}{z}{w}}")
+        components = [
+            size_lower_bound(t1, t2),
+            label_multiset_lower_bound(t1, t2),
+            degree_histogram_lower_bound(t1, t2),
+            binary_branch_lower_bound(t1, t2),
+        ]
+        assert composite_lower_bound(t1, t2) == max(components)
+
+
+class TestUpperBound:
+    @given(t1=trees(max_size=10), t2=trees(max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_trivial_upper_bound_is_valid(self, t1, t2):
+        assert zhang_shasha(t1, t2) <= trivial_upper_bound(t1, t2)
+
+    def test_equal_roots_save_one(self):
+        t1 = Tree.from_bracket("{a{b}}")
+        t2 = Tree.from_bracket("{a{c}{d}}")
+        assert trivial_upper_bound(t1, t2) == 1 + 0 + 2

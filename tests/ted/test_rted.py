@@ -1,0 +1,73 @@
+"""Tests for the RTED-style shape-adaptive hybrid (repro.ted.rted)."""
+
+from hypothesis import given, settings
+
+from repro.ted.rted import decomposition_costs, mirror_tree, ted_hybrid
+from repro.ted.zhang_shasha import AnnotatedTree, zhang_shasha
+from repro.tree.node import Tree
+from tests.conftest import make_random_tree, trees
+
+
+class TestMirror:
+    def test_children_reversed_recursively(self):
+        tree = Tree.from_bracket("{a{b{x}{y}}{c}}")
+        assert mirror_tree(tree).to_bracket() == "{a{c}{b{y}{x}}}"
+
+    @given(trees(max_size=14))
+    def test_involution(self, tree):
+        assert mirror_tree(mirror_tree(tree)) == tree
+
+    @given(trees(max_size=9), trees(max_size=9))
+    @settings(max_examples=40, deadline=None)
+    def test_mirroring_is_a_ted_isometry(self, t1, t2):
+        assert zhang_shasha(t1, t2) == zhang_shasha(mirror_tree(t1), mirror_tree(t2))
+
+    def test_deep_tree_mirroring(self):
+        chain = "{x" * 3000 + "}" * 3000
+        tree = Tree.from_bracket(chain)
+        assert mirror_tree(tree).size == 3000
+
+
+class TestDecompositionCosts:
+    def test_subtree_first_comb_prefers_left_orientation(self):
+        # Children ordered (subtree, leaf): only the trailing leaves have a
+        # left sibling, so the keyroots are small and the plain (leftmost
+        # path) Zhang-Shasha decomposition is cheap.
+        comb = "{a{a{a{a{a}{l}}{l}}{l}}{l}}"
+        t = Tree.from_bracket(comb)
+        left, right = decomposition_costs(t, t)
+        assert left < right
+
+    def test_leaf_first_comb_prefers_mirrored_orientation(self):
+        # Children ordered (leaf, subtree): every big subtree has a left
+        # sibling and becomes a keyroot — the adversarial case for plain
+        # Zhang-Shasha, fixed by mirroring (RTED's robustness scenario).
+        comb = "{a{l}{a{l}{a{l}{a}}}}"
+        t = Tree.from_bracket(comb)
+        left, right = decomposition_costs(t, t)
+        assert right < left
+
+    def test_costs_factorize_over_keyroot_weights(self):
+        t1 = Tree.from_bracket("{a{b}{c}}")
+        t2 = Tree.from_bracket("{a{b{c}{d}}}")
+        left, _ = decomposition_costs(t1, t2)
+        assert left == AnnotatedTree(t1).keyroot_weight() * AnnotatedTree(t2).keyroot_weight()
+
+
+class TestHybrid:
+    @given(trees(max_size=10), trees(max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_zhang_shasha(self, t1, t2):
+        assert ted_hybrid(t1, t2) == zhang_shasha(t1, t2)
+
+    def test_randomized_equivalence(self, rng):
+        for _ in range(30):
+            t1 = make_random_tree(rng, rng.randint(1, 14))
+            t2 = make_random_tree(rng, rng.randint(1, 14))
+            assert ted_hybrid(t1, t2) == zhang_shasha(t1, t2)
+
+    def test_custom_rename_cost_forwarded(self):
+        free = lambda a, b: 0
+        t1 = Tree.from_bracket("{a{b}}")
+        t2 = Tree.from_bracket("{x{y}}")
+        assert ted_hybrid(t1, t2, rename_cost=free) == 0

@@ -1,0 +1,60 @@
+"""Tests for the public TED API (repro.ted.api)."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.ted.api import TED_ALGORITHMS, ted, ted_within
+from repro.tree.node import Tree
+
+
+class TestTed:
+    def test_default_algorithm(self):
+        assert ted(Tree.from_bracket("{a{b}}"), Tree.from_bracket("{a}")) == 1
+
+    @pytest.mark.parametrize("algorithm", sorted(TED_ALGORITHMS))
+    def test_all_algorithms_agree(self, algorithm):
+        t1 = Tree.from_bracket("{a{b{c}}{d}}")
+        t2 = Tree.from_bracket("{a{b}{d{e}}}")
+        assert ted(t1, t2, algorithm=algorithm) == 2
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(InvalidParameterError, match="unknown TED algorithm"):
+            ted(Tree.from_bracket("{a}"), Tree.from_bracket("{a}"), algorithm="nope")
+
+    def test_rename_cost_passthrough(self):
+        free = lambda a, b: 0
+        assert ted(
+            Tree.from_bracket("{a}"), Tree.from_bracket("{z}"), rename_cost=free
+        ) == 0
+
+
+class TestTedWithin:
+    def test_within_threshold_returns_distance(self):
+        a = Tree.from_bracket("{a{b}}")
+        b = Tree.from_bracket("{a{b}{c}{d}}")
+        assert ted_within(a, b, 2) == 2
+        assert ted_within(a, b, 5) == 2
+
+    def test_above_threshold_returns_none(self):
+        a = Tree.from_bracket("{a{b}}")
+        b = Tree.from_bracket("{a{b}{c}{d}}")
+        assert ted_within(a, b, 1) is None
+
+    def test_bounds_do_not_change_result(self, rng):
+        from tests.conftest import make_random_tree
+
+        for _ in range(30):
+            t1 = make_random_tree(rng, rng.randint(1, 10))
+            t2 = make_random_tree(rng, rng.randint(1, 10))
+            for tau in (0, 1, 3):
+                assert ted_within(t1, t2, tau, use_bounds=True) == ted_within(
+                    t1, t2, tau, use_bounds=False
+                )
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ted_within(Tree.from_bracket("{a}"), Tree.from_bracket("{a}"), -1)
+
+    def test_tau_zero_identical_trees(self):
+        tree = Tree.from_bracket("{a{b}{c}}")
+        assert ted_within(tree, tree.copy(), 0) == 0

@@ -1,0 +1,100 @@
+"""Tests for the command line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.io import load_trees
+
+
+@pytest.fixture
+def dataset_file(tmp_path):
+    path = tmp_path / "forest.trees"
+    code = main([
+        "generate", "--dataset", "synthetic", "--count", "30",
+        "--seed", "4", "--size", "15", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_requested_count(self, dataset_file):
+        assert len(load_trees(dataset_file)) == 30
+
+    def test_realistic_dataset(self, tmp_path):
+        path = tmp_path / "sp.trees"
+        assert main([
+            "generate", "--dataset", "swissprot", "--count", "10",
+            "--out", str(path),
+        ]) == 0
+        assert len(load_trees(path)) == 10
+
+
+class TestStats:
+    def test_prints_paper_style_line(self, dataset_file, capsys):
+        assert main(["stats", str(dataset_file)]) == 0
+        out = capsys.readouterr().out
+        assert "30 trees" in out
+        assert "average tree size" in out
+
+
+class TestJoin:
+    def test_default_join(self, dataset_file, capsys):
+        assert main(["join", str(dataset_file), "--tau", "2"]) == 0
+        assert "PRT(tau=2" in capsys.readouterr().out
+
+    def test_pairs_output(self, dataset_file, capsys):
+        assert main([
+            "join", str(dataset_file), "--tau", "3", "--method", "nested_loop",
+            "--pairs",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "NL(tau=3" in out
+
+    def test_json_output(self, dataset_file, capsys):
+        assert main(["join", str(dataset_file), "--tau", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["tau"] == 1
+        assert isinstance(payload["pairs"], list)
+
+    def test_methods_agree_via_cli(self, dataset_file, capsys):
+        pair_sets = {}
+        for method in ("partsj", "str", "set", "nested_loop"):
+            main(["join", str(dataset_file), "--tau", "2", "--method", method,
+                  "--json"])
+            payload = json.loads(capsys.readouterr().out)
+            pair_sets[method] = {tuple(p[:2]) for p in payload["pairs"]}
+        assert len(set(map(frozenset, pair_sets.values()))) == 1
+
+
+class TestSearchAndTed:
+    def test_search(self, dataset_file, capsys):
+        first_tree = load_trees(dataset_file)[0].to_bracket()
+        assert main([
+            "search", str(dataset_file), "--query", first_tree, "--tau", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0\t0" in out  # tree 0 at distance 0
+
+    def test_ted(self, capsys):
+        assert main(["ted", "{a{b}{c}}", "{a{b}}"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_ted_algorithm_flag(self, capsys):
+        assert main(["ted", "{a}", "{b}", "--algorithm", "zhang_shasha"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+
+class TestErrors:
+    def test_repro_errors_exit_code_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trees"
+        bad.write_text("{oops\n")
+        assert main(["stats", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_query_tree(self, dataset_file):
+        assert main([
+            "search", str(dataset_file), "--query", "{broken", "--tau", "1",
+        ]) == 2

@@ -1,0 +1,52 @@
+"""CLI experiment subcommand, run against a monkeypatched tiny scale."""
+
+import pytest
+
+import repro.bench.experiments as experiments_module
+from repro.bench.experiments import SCALES, Scale
+from repro.cli import main
+
+TINY = Scale(
+    name="tiny-cli",
+    join_count=10,
+    taus=(1,),
+    cardinalities=(6, 10),
+    card_tau=1,
+    sens_count=10,
+    sens_tau=1,
+    fanouts=(2,),
+    depths=(4,),
+    label_counts=(5,),
+    tree_sizes=(12,),
+    ablation_count=10,
+    datasets=("sentiment",),
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_smoke(monkeypatch):
+    """Make the CLI's 'smoke' scale actually tiny for these tests."""
+    monkeypatch.setitem(SCALES, "smoke", TINY)
+    yield
+    # monkeypatch restores the original entry automatically.
+
+
+def test_experiment_fig10(capsys):
+    assert main(["experiment", "fig10", "--scale", "smoke", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 10" in out
+    assert "cand gen (s)" in out  # runtime table present
+    assert "REL" in out  # candidate table present
+
+
+def test_experiment_fig11_candidates_only(capsys):
+    assert main(["experiment", "fig11", "--scale", "smoke", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "cand gen (s)" not in out  # fig11 renders candidates only
+
+
+def test_experiment_progress_goes_to_stderr(capsys):
+    assert main(["experiment", "ablation_partitioning", "--scale", "smoke"]) == 0
+    captured = capsys.readouterr()
+    assert "[ablation_partitioning]" in captured.err
+    assert "PRT[maxmin]" in captured.out

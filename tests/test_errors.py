@@ -1,0 +1,30 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro.errors import (
+    EditOperationError,
+    InvalidParameterError,
+    NotPartitionableError,
+    ReproError,
+    TreeFormatError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for cls in (TreeFormatError, InvalidParameterError, EditOperationError,
+                NotPartitionableError):
+        assert issubclass(cls, ReproError)
+
+
+def test_value_error_compatibility():
+    # Input-validation errors double as ValueError so generic callers can
+    # catch them idiomatically.
+    assert issubclass(TreeFormatError, ValueError)
+    assert issubclass(InvalidParameterError, ValueError)
+    assert issubclass(EditOperationError, ValueError)
+
+
+def test_single_catch_site():
+    with pytest.raises(ReproError):
+        raise NotPartitionableError("nope")

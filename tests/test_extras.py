@@ -1,0 +1,69 @@
+"""Tests for the pq-gram extension (repro.extras.pqgram)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidParameterError
+from repro.extras.pqgram import DUMMY, pqgram_distance, pqgram_profile
+from repro.tree.node import Tree
+from tests.conftest import trees
+
+
+class TestProfile:
+    def test_single_node_profile(self):
+        profile = pqgram_profile(Tree.from_bracket("{a}"), p=2, q=3)
+        assert profile == {(DUMMY, "a", DUMMY, DUMMY, DUMMY): 1}
+
+    def test_leaf_grams_padded(self):
+        profile = pqgram_profile(Tree.from_bracket("{a{b}}"), p=1, q=1)
+        assert profile[("a", "b")] == 1
+        assert profile[("b", DUMMY)] == 1
+
+    def test_window_slides_over_children(self):
+        profile = pqgram_profile(Tree.from_bracket("{a{b}{c}}"), p=1, q=2)
+        # Root windows: (*, b), (b, c), (c, *).
+        assert profile[("a", DUMMY, "b")] == 1
+        assert profile[("a", "b", "c")] == 1
+        assert profile[("a", "c", DUMMY)] == 1
+
+    def test_stems_track_ancestors(self):
+        profile = pqgram_profile(Tree.from_bracket("{a{b{c}}}"), p=2, q=1)
+        assert profile[("b", "c", DUMMY)] == 1  # stem (b, c), leaf base
+
+    def test_invalid_parameters(self):
+        tree = Tree.from_bracket("{a}")
+        with pytest.raises(InvalidParameterError):
+            pqgram_profile(tree, p=0, q=1)
+        with pytest.raises(InvalidParameterError):
+            pqgram_profile(tree, p=1, q=0)
+
+
+class TestDistance:
+    @given(trees(max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_identity(self, tree):
+        assert pqgram_distance(tree, tree) == 0.0
+
+    @given(trees(max_size=10), trees(max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry_and_range(self, t1, t2):
+        d12 = pqgram_distance(t1, t2)
+        assert d12 == pqgram_distance(t2, t1)
+        assert 0.0 <= d12 <= 1.0
+
+    def test_unnormalized_counts(self):
+        t1 = Tree.from_bracket("{a{b}}")
+        t2 = Tree.from_bracket("{a{c}}")
+        raw = pqgram_distance(t1, t2, normalized=False)
+        assert raw == float(int(raw))  # integral
+        assert raw > 0
+
+    def test_disjoint_labels_max_distance(self):
+        t1 = Tree.from_bracket("{a{a}{a}}")
+        t2 = Tree.from_bracket("{z{z}{z}}")
+        assert pqgram_distance(t1, t2) == 1.0
+
+    def test_small_change_small_distance(self):
+        t1 = Tree.from_bracket("{a{b}{c}{d}{e}}")
+        t2 = Tree.from_bracket("{a{b}{c}{d}{f}}")
+        assert pqgram_distance(t1, t2) < 0.5

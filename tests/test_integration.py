@@ -1,0 +1,108 @@
+"""End-to-end integration: generate -> persist -> load -> join -> search.
+
+These tests chain the public API the way a downstream user would, so a
+regression anywhere in the pipeline (generator, IO, join registry, search)
+surfaces even if every unit test still passes.
+"""
+
+import pytest
+
+import repro
+from repro import (
+    PartSJConfig,
+    SimilaritySearcher,
+    SyntheticParams,
+    collection_stats,
+    generate_forest,
+    load_trees,
+    save_trees,
+    similarity_join,
+    similarity_search,
+    ted,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline_forest(tmp_path_factory):
+    """A persisted-and-reloaded forest, as a user's workflow would have it."""
+    params = SyntheticParams(avg_size=18, cluster_size=4, decay=0.08)
+    forest = generate_forest(40, params, seed=77)
+    path = tmp_path_factory.mktemp("data") / "forest.trees.gz"
+    save_trees(forest, path, comment="integration fixture")
+    return load_trees(path)
+
+
+class TestPipeline:
+    def test_round_trip_preserves_statistics(self, pipeline_forest):
+        stats = collection_stats(pipeline_forest)
+        assert stats.count == 40
+        assert stats.average_size > 5
+
+    def test_all_methods_one_result_set(self, pipeline_forest):
+        tau = 2
+        results = {
+            method: similarity_join(pipeline_forest, tau, method=method)
+            for method in ("partsj", "str", "set", "histogram", "nested_loop")
+        }
+        reference = results["nested_loop"].pair_set()
+        assert reference, "fixture must produce a non-empty join"
+        for method, result in results.items():
+            assert result.pair_set() == reference, method
+
+    def test_join_distances_verified_by_ted(self, pipeline_forest):
+        result = similarity_join(pipeline_forest, 2)
+        for pair in result.pairs[:10]:
+            assert ted(pipeline_forest[pair.i], pipeline_forest[pair.j]) == (
+                pair.distance
+            )
+
+    def test_search_consistent_with_join(self, pipeline_forest):
+        tau = 2
+        join_pairs = similarity_join(pipeline_forest, tau).pair_set()
+        searcher = SimilaritySearcher(pipeline_forest, tau)
+        # For each tree, search hits (excluding itself) must equal its join
+        # partners.
+        for i in range(0, len(pipeline_forest), 7):
+            partners = {j for a, j in join_pairs if a == i} | {
+                a for a, j in join_pairs if j == i
+            }
+            hits = {
+                h.index for h in searcher.search(pipeline_forest[i])
+                if h.index != i
+            }
+            # Search may also hit trees identical to tree i located at
+            # other indices — those are exactly distance<=tau partners too.
+            assert hits == partners
+
+    def test_one_shot_search_agrees_with_searcher(self, pipeline_forest):
+        query = pipeline_forest[3]
+        one_shot = {
+            (h.index, h.distance)
+            for h in similarity_search(query, pipeline_forest, 1)
+        }
+        reused = {
+            (h.index, h.distance)
+            for h in SimilaritySearcher(pipeline_forest, 1).search(query)
+        }
+        assert one_shot == reused
+
+    def test_paper_and_safe_configs_agree_here(self, pipeline_forest):
+        # The strict-matching configuration with the sound window has never
+        # diverged from ground truth in testing; keep a pipeline-level watch.
+        tau = 2
+        safe = similarity_join(pipeline_forest, tau).pair_set()
+        strict = similarity_join(
+            pipeline_forest, tau,
+            config=PartSJConfig(semantics="paper", postorder_filter="safe"),
+        ).pair_set()
+        assert strict == safe
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version_string(self):
+        major = int(repro.__version__.split(".")[0])
+        assert major >= 1

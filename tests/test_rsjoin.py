@@ -1,0 +1,71 @@
+"""Tests for non-self (R x S) joins (repro.rsjoin)."""
+
+import pytest
+
+from repro.rsjoin import similarity_join_rs
+from repro.ted.zhang_shasha import zhang_shasha
+from repro.tree.node import Tree
+from tests.conftest import make_cluster_forest, make_random_tree
+
+
+def brute_force_rs(left, right, tau):
+    return {
+        (i, j, zhang_shasha(a, b))
+        for i, a in enumerate(left)
+        for j, b in enumerate(right)
+        if zhang_shasha(a, b) <= tau
+    }
+
+
+class TestRSJoin:
+    def test_simple(self):
+        left = [Tree.from_bracket("{a{b}{c}}")]
+        right = [Tree.from_bracket("{a{b}}"), Tree.from_bracket("{z}")]
+        result = similarity_join_rs(left, right, 1)
+        assert [(p.i, p.j, p.distance) for p in result.pairs] == [(0, 0, 1)]
+
+    @pytest.mark.parametrize("method", ["partsj", "str", "set", "nested_loop"])
+    @pytest.mark.parametrize("tau", [0, 1, 2])
+    def test_matches_brute_force(self, rng, method, tau):
+        left = make_cluster_forest(
+            rng, clusters=2, cluster_size=3, base_size=8, max_edits=2
+        )
+        right = make_cluster_forest(
+            rng, clusters=2, cluster_size=3, base_size=8, max_edits=2
+        )
+        # Plant guaranteed cross matches: share one tree across sides.
+        right.append(left[0].copy())
+        expected = brute_force_rs(left, right, tau)
+        result = similarity_join_rs(left, right, tau, method=method)
+        assert {(p.i, p.j, p.distance) for p in result.pairs} == expected
+
+    def test_same_side_pairs_never_reported(self, rng):
+        # Two identical trees inside `left` must not appear in the output.
+        twin = make_random_tree(rng, 8)
+        left = [twin, twin.copy()]
+        right = [make_random_tree(rng, 8)]
+        result = similarity_join_rs(left, right, 0)
+        assert all(0 <= p.j < len(right) for p in result.pairs)
+        assert result.stats.extra["same_side_pairs_discarded"] >= 1
+
+    def test_indices_are_per_side(self, rng):
+        left = [make_random_tree(rng, 6) for _ in range(3)]
+        right = [left[2].copy()]
+        result = similarity_join_rs(left, right, 0)
+        assert (2, 0) in {(p.i, p.j) for p in result.pairs}
+
+    def test_stats_method_tag(self, rng):
+        left = [make_random_tree(rng, 6)]
+        right = [make_random_tree(rng, 6)]
+        assert similarity_join_rs(left, right, 1).stats.method == "PRT-RS"
+
+    def test_empty_sides(self):
+        assert similarity_join_rs([], [Tree.from_bracket("{a}")], 1).pairs == []
+        assert similarity_join_rs([Tree.from_bracket("{a}")], [], 1).pairs == []
+
+    def test_pairs_sorted(self, rng):
+        left = make_cluster_forest(rng, 2, 2, 7, 1)
+        right = [t.copy() for t in left]
+        result = similarity_join_rs(left, right, 2)
+        keys = [(p.i, p.j) for p in result.pairs]
+        assert keys == sorted(keys)

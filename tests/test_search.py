@@ -1,0 +1,85 @@
+"""Tests for similarity search (repro.search)."""
+
+import pytest
+
+from repro.core.join import PartSJConfig
+from repro.errors import InvalidParameterError
+from repro.search import SimilaritySearcher, similarity_search
+from repro.ted.zhang_shasha import zhang_shasha
+from repro.tree.node import Tree
+from tests.conftest import make_cluster_forest, make_random_tree
+
+
+def brute_force_search(query, trees, tau):
+    return {
+        i for i, tree in enumerate(trees)
+        if zhang_shasha(query, tree) <= tau
+    }
+
+
+class TestSimilaritySearch:
+    def test_simple_hit(self):
+        trees = [Tree.from_bracket("{a{b}{c}}"), Tree.from_bracket("{x{y{z}}}")]
+        hits = similarity_search(Tree.from_bracket("{a{b}}"), trees, 1)
+        assert [(h.index, h.distance) for h in hits] == [(0, 1)]
+
+    def test_matches_brute_force(self, rng):
+        trees = make_cluster_forest(
+            rng, clusters=4, cluster_size=3, base_size=9, max_edits=3
+        )
+        for _ in range(8):
+            query = trees[rng.randrange(len(trees))]
+            for tau in (0, 1, 2, 3):
+                expected = brute_force_search(query, trees, tau)
+                hits = similarity_search(query, trees, tau)
+                assert {h.index for h in hits} == expected
+                for hit in hits:
+                    assert hit.distance == zhang_shasha(query, trees[hit.index])
+
+    def test_query_larger_and_smaller_than_collection(self, rng):
+        trees = [make_random_tree(rng, size) for size in (3, 6, 9, 12)]
+        for query_size in (2, 7, 14):
+            query = make_random_tree(rng, query_size)
+            for tau in (1, 3):
+                expected = brute_force_search(query, trees, tau)
+                got = {h.index for h in similarity_search(query, trees, tau)}
+                assert got == expected
+
+    def test_hits_sorted_by_index(self, rng):
+        trees = make_cluster_forest(
+            rng, clusters=2, cluster_size=4, base_size=8, max_edits=1
+        )
+        hits = similarity_search(trees[0], trees, 3)
+        indices = [h.index for h in hits]
+        assert indices == sorted(indices)
+
+    def test_empty_collection(self):
+        assert similarity_search(Tree.from_bracket("{a}"), [], 2) == []
+
+
+class TestSearcherReuse:
+    def test_many_queries_one_index(self, rng):
+        trees = make_cluster_forest(
+            rng, clusters=3, cluster_size=3, base_size=10, max_edits=2
+        )
+        searcher = SimilaritySearcher(trees, tau=2)
+        for query in trees[:5]:
+            expected = brute_force_search(query, trees, 2)
+            assert {h.index for h in searcher.search(query)} == expected
+
+    def test_paper_config_variant(self, rng):
+        trees = make_cluster_forest(
+            rng, clusters=2, cluster_size=4, base_size=10, max_edits=2
+        )
+        searcher = SimilaritySearcher(
+            trees, tau=1,
+            config=PartSJConfig(semantics="paper", postorder_filter="safe"),
+        )
+        for query in trees[:4]:
+            assert {h.index for h in searcher.search(query)} == (
+                brute_force_search(query, trees, 1)
+            )
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SimilaritySearcher([Tree.from_bracket("{a}")], tau=-1)

@@ -1,0 +1,74 @@
+"""Tests for bracket-notation parsing and serialization."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import TreeFormatError
+from repro.tree.bracket import escape_label, parse_bracket, to_bracket, unescape_label
+from tests.conftest import trees
+
+
+class TestParse:
+    def test_single_node(self):
+        tree = parse_bracket("{a}")
+        assert tree.size == 1
+        assert tree.root.label == "a"
+
+    def test_nested(self):
+        tree = parse_bracket("{a{b{c}}{d}}")
+        assert tree.root.label == "a"
+        assert [c.label for c in tree.root.children] == ["b", "d"]
+        assert tree.root.children[0].children[0].label == "c"
+
+    def test_empty_label_allowed(self):
+        tree = parse_bracket("{{x}}")
+        assert tree.root.label == ""
+        assert tree.root.children[0].label == "x"
+
+    def test_whitespace_around_input_is_stripped(self):
+        assert parse_bracket("  {a}  ").root.label == "a"
+
+    def test_labels_with_spaces(self):
+        tree = parse_bracket("{hello world{child one}}")
+        assert tree.root.label == "hello world"
+        assert tree.root.children[0].label == "child one"
+
+    def test_escaped_braces_in_labels(self):
+        tree = parse_bracket(r"{a\{b\}}")
+        assert tree.root.label == "a{b}"
+
+    def test_escaped_backslash(self):
+        tree = parse_bracket(r"{a\\b}")
+        assert tree.root.label == "a\\b"
+
+    @pytest.mark.parametrize("bad", [
+        "",  # empty
+        "   ",  # whitespace only
+        "a",  # no brace
+        "{a",  # unbalanced open
+        "{a}}",  # unbalanced close
+        "{a}{b}",  # forest
+        "{a{b}x}",  # garbage between siblings
+        "{a\\",  # dangling escape
+    ])
+    def test_malformed_inputs_raise(self, bad):
+        with pytest.raises(TreeFormatError):
+            parse_bracket(bad)
+
+
+class TestSerialize:
+    def test_round_trip_simple(self):
+        text = "{a{b{c}}{d}}"
+        assert to_bracket(parse_bracket(text)) == text
+
+    def test_round_trip_with_escapes(self):
+        tree = parse_bracket(r"{we\{ird\\}")
+        assert parse_bracket(to_bracket(tree)) == tree
+
+    @given(trees(max_size=15))
+    def test_round_trip_random_trees(self, tree):
+        assert parse_bracket(to_bracket(tree)) == tree
+
+    def test_escape_unescape_inverse(self):
+        for label in ["plain", "{", "}", "\\", "a{b}c\\d", ""]:
+            assert unescape_label(escape_label(label)) == label

@@ -1,0 +1,63 @@
+"""Tests for tree and collection statistics (repro.tree.stats)."""
+
+import pytest
+
+from repro.tree.node import Tree
+from repro.tree.stats import collection_stats, tree_stats
+
+
+class TestTreeStats:
+    def test_single_node(self):
+        stats = tree_stats(Tree.from_bracket("{a}"))
+        assert stats.size == 1
+        assert stats.depth == 0
+        assert stats.average_depth == 0.0
+        assert stats.max_fanout == 0
+        assert stats.leaf_count == 1
+        assert stats.distinct_labels == 1
+        assert stats.average_fanout == 0.0
+
+    def test_known_tree(self):
+        # depth profile: a=0, b=1, c=1, d=2 -> avg 1.0
+        stats = tree_stats(Tree.from_bracket("{a{b{d}}{c}}"))
+        assert stats.size == 4
+        assert stats.depth == 2
+        assert stats.average_depth == 1.0
+        assert stats.max_fanout == 2
+        assert stats.leaf_count == 2
+        assert stats.distinct_labels == 4
+
+    def test_repeated_labels_counted_once(self):
+        stats = tree_stats(Tree.from_bracket("{a{a}{a}}"))
+        assert stats.distinct_labels == 1
+
+    def test_average_fanout(self):
+        # 4 edges over 2 internal nodes
+        stats = tree_stats(Tree.from_bracket("{a{b{x}{y}{z}}}"))
+        assert stats.average_fanout == pytest.approx(4 / 2)
+
+
+class TestCollectionStats:
+    def test_describe_matches_paper_format(self):
+        trees = [Tree.from_bracket("{a{b}}"), Tree.from_bracket("{a{b}{c{d}}}")]
+        stats = collection_stats(trees)
+        assert stats.count == 2
+        assert stats.average_size == pytest.approx(3.0)
+        assert stats.distinct_labels == 4
+        assert stats.max_depth == 2
+        assert stats.min_size == 2 and stats.max_size == 4
+        text = stats.describe()
+        assert "2 trees" in text and "average tree size 3.00" in text
+
+    def test_average_depth_is_mean_of_tree_means(self):
+        # tree1 avg depth 0.5; tree2 avg depth 0.5 -> 0.5
+        trees = [Tree.from_bracket("{a{b}}"), Tree.from_bracket("{x{y}}")]
+        assert collection_stats(trees).average_depth == pytest.approx(0.5)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValueError):
+            collection_stats([])
+
+    def test_accepts_iterators(self):
+        stats = collection_stats(iter([Tree.from_bracket("{a}")]))
+        assert stats.count == 1

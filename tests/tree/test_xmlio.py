@@ -1,0 +1,63 @@
+"""Tests for XML <-> tree conversion (repro.tree.xmlio)."""
+
+import pytest
+
+from repro.errors import TreeFormatError
+from repro.tree.xmlio import tree_from_xml, tree_from_xml_file, tree_to_xml
+
+
+FIGURE1_HTML = (
+    "<html><title>Test page</title><body>"
+    "<p>This is a <dfn>dfn</dfn> tag example.</p>"
+    "</body></html>"
+)
+
+
+class TestFromXml:
+    def test_paper_figure1_shape(self):
+        # Tags and text both become labels (paper Figure 1).
+        tree = tree_from_xml(FIGURE1_HTML)
+        assert tree.root.label == "html"
+        assert [c.label for c in tree.root.children] == ["title", "body"]
+        title = tree.root.children[0]
+        assert [c.label for c in title.children] == ["Test page"]
+        p = tree.root.children[1].children[0]
+        assert p.label == "p"
+        assert [c.label for c in p.children] == [
+            "This is a", "dfn", "tag example.",
+        ]
+        assert p.children[1].children[0].label == "dfn"
+
+    def test_attributes_excluded_by_default(self):
+        tree = tree_from_xml('<a x="1"><b/></a>')
+        assert [c.label for c in tree.root.children] == ["b"]
+
+    def test_attributes_as_children_when_requested(self):
+        tree = tree_from_xml('<a x="1" y="2"><b/></a>', include_attributes=True)
+        assert [c.label for c in tree.root.children] == ["x=1", "y=2", "b"]
+
+    def test_whitespace_only_text_ignored(self):
+        tree = tree_from_xml("<a>\n  <b/>\n</a>")
+        assert [c.label for c in tree.root.children] == ["b"]
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(TreeFormatError):
+            tree_from_xml("<a><b></a>")
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(FIGURE1_HTML, encoding="utf-8")
+        assert tree_from_xml_file(path).root.label == "html"
+
+
+class TestToXml:
+    def test_round_trip_elements(self):
+        text = tree_to_xml(tree_from_xml("<a><b/><c/></a>"))
+        assert tree_from_xml(text) == tree_from_xml("<a><b/><c/></a>")
+
+    def test_text_content_escaped(self):
+        from repro.tree.node import Tree, TreeNode
+
+        tree = Tree(TreeNode("a", [TreeNode("x < y & z")]))
+        rendered = tree_to_xml(tree)
+        assert "&lt;" in rendered and "&amp;" in rendered
