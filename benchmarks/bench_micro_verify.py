@@ -1,0 +1,119 @@
+"""Microbenchmark: unbounded vs threshold-aware verification.
+
+The "TED computation" bars of Figures 10/12/14 are verify-phase time, so
+this is the microbenchmark behind the verifier engine in
+``repro.baselines.common``: the same candidate pairs (all size-window
+pairs of the standard synthetic workload) are verified by
+
+- the *unbounded* verifier (``threshold_aware=False``) — a full
+  Zhang–Shasha per candidate, the behaviour of the original ``Verifier``;
+- the *bounded* engine — cached-feature lower bounds, the trivial
+  upper-bound short-circuit, and the tau-banded early-exit DP of
+  :mod:`repro.ted.cutoff`.
+
+Besides per-engine throughput (``--benchmark-only``), the comparison test
+asserts the two engines accept identical pairs, reports the filter hit
+rates, and checks the bounded engine is at least 2x faster at small tau.
+
+Run with ``pytest benchmarks/bench_micro_verify.py`` (add
+``--benchmark-only`` for the timed variants alone).
+"""
+
+import time
+
+import pytest
+
+from repro.baselines.common import SizeSortedCollection, Verifier
+
+TAUS = (1, 2)
+
+
+def window_pairs(trees, tau):
+    """Candidate pairs: every size-window pair, as original-index tuples."""
+    collection = SizeSortedCollection(trees)
+    return [
+        (collection.original_index(a), collection.original_index(b))
+        for a, b in collection.iter_window_pairs(tau)
+    ]
+
+
+def run_engine(trees, pairs, tau, **options):
+    """Verify every candidate; return (accepted pair dict, verifier)."""
+    verifier = Verifier(trees, tau, **options)
+    accepted = {}
+    for i, j in pairs:
+        distance = verifier.verify(i, j)
+        if distance is not None:
+            accepted[(i, j)] = distance
+    return accepted, verifier
+
+
+def best_of(repeats, fn):
+    """Minimum wall time over ``repeats`` runs (robust to CI noise)."""
+    best_time, best_result = None, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best_time is None or elapsed < best_time:
+            best_time, best_result = elapsed, result
+    return best_time, best_result
+
+
+@pytest.mark.parametrize("tau", TAUS)
+def test_verify_unbounded(benchmark, verify_workload, tau):
+    pairs = window_pairs(verify_workload, tau)
+    accepted = benchmark(
+        lambda: run_engine(verify_workload, pairs, tau, threshold_aware=False)[0]
+    )
+    assert len(accepted) <= len(pairs)
+
+
+@pytest.mark.parametrize("tau", TAUS)
+def test_verify_bounded(benchmark, verify_workload, tau):
+    pairs = window_pairs(verify_workload, tau)
+    accepted = benchmark(lambda: run_engine(verify_workload, pairs, tau)[0])
+    assert len(accepted) <= len(pairs)
+
+
+def test_bounded_engine_speedup_and_hit_rates(
+    verify_workload, scale, results_dir
+):
+    from conftest import save_and_print
+
+    lines = [
+        "== micro_verify: unbounded vs threshold-aware verification ==",
+        f"trees={len(verify_workload)} (standard synthetic workload)",
+    ]
+    for tau in TAUS:
+        pairs = window_pairs(verify_workload, tau)
+
+        # Best-of-3 timings: a single scheduler stall on a shared CI
+        # runner must not flip the speedup assertion.
+        slow_time, (slow_accepted, slow) = best_of(
+            3,
+            lambda: run_engine(verify_workload, pairs, tau, threshold_aware=False),
+        )
+        fast_time, (fast_accepted, fast) = best_of(
+            3, lambda: run_engine(verify_workload, pairs, tau)
+        )
+
+        # Identical verification outcomes, including exact distances.
+        assert fast_accepted == slow_accepted
+
+        filtered = fast.stats_lb_filtered
+        short_circuited = fast.stats_ub_accepted
+        early = fast.stats_ted_early_exits
+        speedup = slow_time / fast_time if fast_time > 0 else float("inf")
+        lines.append(
+            f"tau={tau}: candidates={len(pairs)} results={len(fast_accepted)} "
+            f"lb_filtered={filtered} ({filtered / max(1, len(pairs)):.0%}) "
+            f"ub_accepted={short_circuited} ted_early_exits={early} "
+            f"dp_runs={fast.stats_ted_calls} | "
+            f"unbounded {slow_time:.3f}s vs bounded {fast_time:.3f}s "
+            f"-> {speedup:.1f}x"
+        )
+        # The acceptance bar for the engine: >= 2x verify-phase speedup at
+        # small tau on the standard synthetic workload.
+        assert speedup >= 2.0, lines[-1]
+    save_and_print(results_dir, "micro_verify", scale, "\n".join(lines) + "\n")

@@ -37,6 +37,27 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+# Trees per scale for the verification microbenchmark's standard synthetic
+# workload (bench_micro_verify.py): the unbounded baseline pays a full
+# Zhang-Shasha per window pair, so the counts stay modest.
+VERIFY_WORKLOAD_COUNTS = {"smoke": 48, "small": 72, "medium": 120}
+
+
+@pytest.fixture(scope="session")
+def verify_workload(scale):
+    """Clustered synthetic trees for verify-phase microbenchmarks.
+
+    Returned as a plain list; benchmarks derive their candidate pairs
+    (size-window pairs) per tau from it.
+    """
+    from repro.datasets.synthetic import SyntheticParams, generate_forest
+
+    count = VERIFY_WORKLOAD_COUNTS.get(scale.name, 72)
+    return generate_forest(
+        count, SyntheticParams(avg_size=50, cluster_size=4), seed=1105
+    )
+
+
 def save_and_print(results_dir: Path, name: str, scale, text: str) -> None:
     """Echo a rendered figure and persist it under benchmarks/results/."""
     print()

@@ -11,6 +11,7 @@ from repro.baselines.common import (
     JoinResult,
     JoinStats,
     SizeSortedCollection,
+    TreeFeatures,
     Verifier,
 )
 from repro.baselines.histogram_join import histogram_join
@@ -23,6 +24,7 @@ __all__ = [
     "JoinResult",
     "JoinStats",
     "SizeSortedCollection",
+    "TreeFeatures",
     "Verifier",
     "nested_loop_join",
     "str_join",

@@ -10,21 +10,54 @@ the benchmark harness can print the paper's figures uniformly:
   a pair that survived the method's filter and was handed to exact TED
   verification.
 
-:class:`Verifier` performs the exact-TED verification step shared by all
-methods.  It caches per-tree Zhang–Shasha annotations (both orientations)
-so a tree joined against many candidates is annotated once, and it picks
-the cheaper decomposition orientation per pair as :mod:`repro.ted.rted`
-does.
+:class:`Verifier` is the *threshold-aware verification engine* shared by
+all methods.  TED computation dominates every join's runtime (the "TED
+computation" bars of Figures 10/12/14), so the verifier never runs an
+unbounded distance computation on a candidate.  Instead each pair walks a
+cheap-to-expensive pipeline:
+
+1. **Trivial upper bound** (O(1) from cached features): if deleting one
+   tree and inserting the other already costs ``<= tau``, the pair is
+   accepted without touching the DP machinery (counter ``ub_accepted``).
+2. **Composite lower bound** (O(distinct keys) from cached per-tree bags —
+   label multiset, degree histogram, binary branches) plus the banded
+   traversal-string bound: any bound ``> tau`` rejects the pair with no
+   DP at all (counter ``lb_filtered``).
+3. **tau-banded exact DP**: survivors run
+   :func:`repro.ted.cutoff.zhang_shasha_bounded`, which fills only the
+   ``2*tau + 1`` diagonals of each keyroot forest DP and abandons the
+   computation as soon as no cell can recover (counter
+   ``ted_early_exits`` when the ``> tau`` sentinel comes back).
+
+The per-tree feature vectors (:class:`TreeFeatures`) and Zhang–Shasha
+annotations (both orientations, built lazily — small trees skip the mirror
+entirely) are cached, so a tree joined against many candidates is
+traversed a constant number of times regardless of its candidate count.
+The counters surface in ``JoinStats.extra`` for every join method via
+:meth:`Verifier.extra_stats`, giving the figure scripts a verification
+breakdown.  Results are bit-identical to unconditional exact verification
+(``threshold_aware=False`` restores it) because every bound is proven and
+the banded DP is exact within ``tau``.
 """
 
 from __future__ import annotations
 
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
 from repro.errors import InvalidParameterError
-from repro.ted.rted import mirror_tree
+from repro.ted.binary_branch import binary_branches
+from repro.ted.bounds import (
+    branch_bound_from_bags,
+    degree_bound_from_bags,
+    label_bound_from_bags,
+    trivial_upper_bound_from_parts,
+)
+from repro.ted.cutoff import zhang_shasha_bounded
+from repro.ted.rted import MIRROR_SIZE_CUTOFF, choose_orientation, mirror_tree
+from repro.ted.string_edit import string_edit_within
 from repro.ted.zhang_shasha import AnnotatedTree, zhang_shasha
 from repro.tree.node import Tree
 
@@ -32,6 +65,7 @@ __all__ = [
     "JoinPair",
     "JoinStats",
     "JoinResult",
+    "TreeFeatures",
     "Verifier",
     "SizeSortedCollection",
     "check_join_inputs",
@@ -63,7 +97,12 @@ class JoinStats:
     pairs_considered: int = 0  # pairs examined by the filter phase
     candidate_time: float = 0.0  # seconds in candidate generation
     verify_time: float = 0.0  # seconds in TED verification
-    extra: dict = field(default_factory=dict)  # method-specific counters
+    # Method-specific counters.  Every join additionally merges the
+    # verifier's breakdown here: ``lb_filtered`` (candidates rejected by a
+    # lower bound, no DP), ``ub_accepted`` (candidates accepted by the
+    # trivial upper bound) and ``ted_early_exits`` (banded DPs that stopped
+    # at the > tau sentinel).
+    extra: dict = field(default_factory=dict)
 
     @property
     def total_time(self) -> float:
@@ -108,8 +147,93 @@ def check_join_inputs(trees: Sequence[Tree], tau: int) -> None:
             )
 
 
+class TreeFeatures:
+    """Per-tree vectors behind the verifier's O(distinct-keys) filters.
+
+    Everything :func:`repro.ted.bounds.composite_lower_bound` and the
+    traversal-string bound need, each computed at most once per tree: the
+    label bag, the degree histogram, the binary-branch bag, and the
+    pre/postorder label tuples.  A candidate pair is then screened with
+    multiset L1 distances and (optionally) two banded string DPs — no
+    tree walk.
+
+    Every part is built lazily on first access, so a consumer pays only
+    for what it reads: the SET join's candidate screen touches just
+    ``branch_bag``, the histogram join just the label/degree bags, and a
+    verifier with ``traversal_bound=False`` never materializes the
+    traversal tuples.  Joins share the verifier's per-tree cache instead
+    of rebuilding bags.
+    """
+
+    __slots__ = (
+        "tree",
+        "size",
+        "root_label",
+        "_label_bag",
+        "_degree_bag",
+        "_branch_bag",
+        "_preorder",
+        "_postorder",
+    )
+
+    def __init__(self, tree: Tree):
+        self.tree = tree
+        self.size = tree.size
+        self.root_label = tree.root.label
+        self._label_bag: Optional[Counter] = None
+        self._degree_bag: Optional[Counter] = None
+        self._branch_bag: Optional[Counter] = None
+        self._preorder: Optional[tuple] = None
+        self._postorder: Optional[tuple] = None
+
+    def _scan_bags(self) -> None:
+        label_bag: Counter = Counter()
+        degree_bag: Counter = Counter()
+        for node in self.tree.iter_preorder():
+            label_bag[node.label] += 1
+            degree_bag[node.degree] += 1
+        self._label_bag = label_bag
+        self._degree_bag = degree_bag
+
+    @property
+    def label_bag(self) -> Counter:
+        if self._label_bag is None:
+            self._scan_bags()
+        return self._label_bag
+
+    @property
+    def degree_bag(self) -> Counter:
+        if self._degree_bag is None:
+            self._scan_bags()
+        return self._degree_bag
+
+    @property
+    def branch_bag(self) -> Counter:
+        if self._branch_bag is None:
+            self._branch_bag = binary_branches(self.tree)
+        return self._branch_bag
+
+    @property
+    def preorder(self) -> tuple:
+        if self._preorder is None:
+            self._preorder = tuple(self.tree.preorder_labels())
+        return self._preorder
+
+    @property
+    def postorder(self) -> tuple:
+        if self._postorder is None:
+            self._postorder = tuple(self.tree.postorder_labels())
+        return self._postorder
+
+    def trivial_upper_bound(self, other: "TreeFeatures") -> int:
+        """Delete everything below one root, rename it, insert the other."""
+        return trivial_upper_bound_from_parts(
+            self.size, other.size, self.root_label == other.root_label
+        )
+
+
 class Verifier:
-    """Exact-TED verification service with per-tree annotation caching.
+    """Threshold-aware exact-TED verification engine (see module docstring).
 
     Parameters
     ----------
@@ -117,15 +241,58 @@ class Verifier:
         The collection, indexed by original position.
     tau:
         The join threshold; :meth:`verify` reports distances ``<= tau``.
+    threshold_aware:
+        With the default ``True``, candidates run the bound pipeline and
+        the tau-banded DP.  ``False`` restores the unconditional full
+        Zhang–Shasha of the original verifier (the microbenchmark
+        baseline); the accepted pair set is identical either way.
+    traversal_bound:
+        Include the banded pre/postorder string-edit lower bound in the
+        filter chain.  The STR join disables it because its candidates
+        already passed exactly that filter (the per-tree traversal tuples
+        are then not even materialized).
+    bag_bounds:
+        Which bag lower bounds to include in the filter chain: ``True``
+        (all of labels / degrees / branches), ``False`` (none), or an
+        iterable naming a subset.  Joins disable exactly the checks their
+        own candidate screen already applied — the nested-loop join with
+        bounds passes ``False``, the histogram join keeps only
+        ``("branches",)``, the SET join only ``("labels", "degrees")``.
+    exact_distances:
+        With the default ``True``, accepted pairs always carry their exact
+        distance (upper-bound acceptances re-derive it with a DP banded at
+        the even tighter ``upper``).  ``False`` lets an upper-bound
+        acceptance return the bound itself with no DP at all — membership
+        is still exact, the reported distance may overestimate.
     """
 
-    def __init__(self, trees: Sequence[Tree], tau: int):
+    def __init__(
+        self,
+        trees: Sequence[Tree],
+        tau: int,
+        threshold_aware: bool = True,
+        traversal_bound: bool = True,
+        bag_bounds: "bool | Sequence[str]" = True,
+        exact_distances: bool = True,
+    ):
+        if bag_bounds is True:
+            bag_bounds = ("labels", "degrees", "branches")
+        elif bag_bounds is False:
+            bag_bounds = ()
         self._trees = trees
         self._tau = tau
+        self._threshold_aware = threshold_aware
+        self._traversal_bound = traversal_bound
+        self._bag_bounds = frozenset(bag_bounds)
+        self._exact_distances = exact_distances
         self._annotated: dict[int, AnnotatedTree] = {}
         self._mirrored: dict[int, AnnotatedTree] = {}
+        self._features: dict[int, TreeFeatures] = {}
         self.stats_ted_calls = 0
         self.stats_time = 0.0
+        self.stats_lb_filtered = 0
+        self.stats_ub_accepted = 0
+        self.stats_ted_early_exits = 0
 
     def _annotation(self, index: int) -> AnnotatedTree:
         cached = self._annotated.get(index)
@@ -141,27 +308,102 @@ class Verifier:
             self._mirrored[index] = cached
         return cached
 
+    def features(self, index: int) -> TreeFeatures:
+        """The cached :class:`TreeFeatures` of tree ``index``."""
+        cached = self._features.get(index)
+        if cached is None:
+            cached = TreeFeatures(self._trees[index])
+            self._features[index] = cached
+        return cached
+
+    def _oriented(self, i: int, j: int) -> tuple[AnnotatedTree, AnnotatedTree]:
+        """The cheaper decomposition orientation, as :mod:`repro.ted.rted`.
+
+        Delegates to :func:`repro.ted.rted.choose_orientation` with the
+        per-tree annotation caches: mirrors are built lazily and, below
+        ``MIRROR_SIZE_CUTOFF``, not at all.
+        """
+        return choose_orientation(
+            self._annotation(i),
+            self._annotation(j),
+            lambda: (self._mirror_annotation(i), self._mirror_annotation(j)),
+            MIRROR_SIZE_CUTOFF,
+        )
+
     def distance(self, i: int, j: int) -> int:
         """Exact TED between trees ``i`` and ``j`` (orientation-adaptive)."""
         start = time.perf_counter()
-        a1 = self._annotation(i)
-        a2 = self._annotation(j)
-        left_cost = a1.keyroot_weight() * a2.keyroot_weight()
-        b1 = self._mirror_annotation(i)
-        b2 = self._mirror_annotation(j)
-        right_cost = b1.keyroot_weight() * b2.keyroot_weight()
-        if right_cost < left_cost:
-            value = zhang_shasha(b1, b2)
-        else:
-            value = zhang_shasha(a1, a2)
+        x1, x2 = self._oriented(i, j)
+        value = zhang_shasha(x1, x2)
         self.stats_ted_calls += 1
         self.stats_time += time.perf_counter() - start
         return value
 
     def verify(self, i: int, j: int) -> Optional[int]:
-        """Exact distance if ``<= tau`` else ``None``."""
-        value = self.distance(i, j)
-        return value if value <= self._tau else None
+        """Exact distance if ``<= tau`` else ``None``.
+
+        This is the hot path of every join: the bound pipeline described
+        in the module docstring, then the tau-banded DP.
+        """
+        tau = self._tau
+        if not self._threshold_aware:
+            value = self.distance(i, j)
+            return value if value <= tau else None
+        start = time.perf_counter()
+        try:
+            f1 = self.features(i)
+            f2 = self.features(j)
+            upper = f1.trivial_upper_bound(f2)
+            if upper <= tau:
+                # The pair cannot miss; skip the whole filter chain.
+                self.stats_ub_accepted += 1
+                if not self._exact_distances:
+                    return upper
+                value = zhang_shasha_bounded(
+                    self._annotation(i), self._annotation(j), upper
+                )
+                self.stats_ted_calls += 1
+                return value  # TED <= upper, so the band cannot cut it off
+            # The composite lower bound of repro.ted.bounds, evaluated
+            # stepwise from the cached bags (cheapest first, stopping at
+            # the first bound > tau); checks whose L1 the join's own
+            # candidate screen already applied are excluded via bag_bounds.
+            if abs(f1.size - f2.size) > tau:
+                self.stats_lb_filtered += 1
+                return None
+            bags = self._bag_bounds
+            if (
+                ("labels" in bags
+                 and label_bound_from_bags(f1.label_bag, f2.label_bag) > tau)
+                or ("degrees" in bags
+                    and degree_bound_from_bags(f1.degree_bag, f2.degree_bag) > tau)
+                or ("branches" in bags
+                    and branch_bound_from_bags(f1.branch_bag, f2.branch_bag) > tau)
+            ):
+                self.stats_lb_filtered += 1
+                return None
+            if self._traversal_bound and (
+                string_edit_within(f1.preorder, f2.preorder, tau) is None
+                or string_edit_within(f1.postorder, f2.postorder, tau) is None
+            ):
+                self.stats_lb_filtered += 1
+                return None
+            x1, x2 = self._oriented(i, j)
+            self.stats_ted_calls += 1
+            value = zhang_shasha_bounded(x1, x2, tau)
+            if value is None:
+                self.stats_ted_early_exits += 1
+            return value
+        finally:
+            self.stats_time += time.perf_counter() - start
+
+    def extra_stats(self) -> dict:
+        """The verification breakdown joins merge into ``JoinStats.extra``."""
+        return {
+            "lb_filtered": self.stats_lb_filtered,
+            "ub_accepted": self.stats_ub_accepted,
+            "ted_early_exits": self.stats_ted_early_exits,
+        }
 
 
 class SizeSortedCollection:
@@ -175,6 +417,8 @@ class SizeSortedCollection:
     def __init__(self, trees: Sequence[Tree]):
         self.order: list[int] = sorted(range(len(trees)), key=lambda k: trees[k].size)
         self.trees = trees
+        # Ascending sizes, hoisted once; every tau window reuses them.
+        self.sizes: list[int] = [trees[k].size for k in self.order]
 
     def __len__(self) -> int:
         return len(self.order)
@@ -193,7 +437,7 @@ class SizeSortedCollection:
         (sizes are sorted, so the window is contiguous); every unordered
         pair passing the size filter is produced exactly once.
         """
-        sizes = [self.tree_at(p).size for p in range(len(self.order))]
+        sizes = self.sizes
         start = 0
         for later in range(len(self.order)):
             while sizes[later] - sizes[start] > tau:

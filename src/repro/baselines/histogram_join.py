@@ -10,7 +10,6 @@ harness and exercises :mod:`repro.ted.bounds` at scale.
 from __future__ import annotations
 
 import time
-from collections import Counter
 from typing import Sequence
 
 from repro.baselines.common import (
@@ -20,14 +19,10 @@ from repro.baselines.common import (
     Verifier,
     check_join_inputs,
 )
+from repro.ted.bounds import multiset_l1 as _multiset_l1
 from repro.tree.node import Tree
 
 __all__ = ["histogram_join"]
-
-
-def _multiset_l1(c1: Counter, c2: Counter) -> int:
-    keys = set(c1) | set(c2)
-    return sum(abs(c1.get(k, 0) - c2.get(k, 0)) for k in keys)
 
 
 def histogram_join(trees: Sequence[Tree], tau: int) -> JoinResult:
@@ -41,14 +36,13 @@ def histogram_join(trees: Sequence[Tree], tau: int) -> JoinResult:
     check_join_inputs(trees, tau)
     stats = JoinStats(method="HST", tau=tau, tree_count=len(trees))
     collection = SizeSortedCollection(trees)
-    verifier = Verifier(trees, tau)
+    # The verifier skips the label/degree bounds this screen applies and
+    # still adds the binary-branch and traversal bounds the screen lacks.
+    verifier = Verifier(trees, tau, bag_bounds=("branches",))
 
-    start = time.perf_counter()
-    label_bags = [Counter(tree.labels()) for tree in trees]
-    degree_bags = [
-        Counter(node.degree for node in tree.iter_preorder()) for tree in trees
-    ]
-    stats.candidate_time += time.perf_counter() - start
+    # The histogram filters read the verifier's per-tree feature cache:
+    # each label/degree bag is built lazily on first touch and shared.
+    feats = [verifier.features(k) for k in range(len(trees))]
 
     pruned_labels = 0
     pruned_degrees = 0
@@ -59,9 +53,9 @@ def histogram_join(trees: Sequence[Tree], tau: int) -> JoinResult:
         j = collection.original_index(pos_b)
 
         start = time.perf_counter()
-        label_ok = _multiset_l1(label_bags[i], label_bags[j]) <= 2 * tau
+        label_ok = _multiset_l1(feats[i].label_bag, feats[j].label_bag) <= 2 * tau
         degree_ok = label_ok and (
-            _multiset_l1(degree_bags[i], degree_bags[j]) <= 3 * tau
+            _multiset_l1(feats[i].degree_bag, feats[j].degree_bag) <= 3 * tau
         )
         stats.candidate_time += time.perf_counter() - start
         if not label_ok:
@@ -81,5 +75,6 @@ def histogram_join(trees: Sequence[Tree], tau: int) -> JoinResult:
     stats.results = len(pairs)
     stats.extra["pruned_by_labels"] = pruned_labels
     stats.extra["pruned_by_degrees"] = pruned_degrees
+    stats.extra.update(verifier.extra_stats())
     pairs.sort(key=lambda p: p.key())
     return JoinResult(pairs=pairs, stats=stats)

@@ -11,7 +11,6 @@ nested loop.
 from __future__ import annotations
 
 import time
-from collections import Counter
 from typing import Sequence
 
 from repro.baselines.common import (
@@ -21,15 +20,10 @@ from repro.baselines.common import (
     Verifier,
     check_join_inputs,
 )
-from repro.ted.binary_branch import binary_branches
+from repro.ted.bounds import multiset_l1 as _multiset_l1
 from repro.tree.node import Tree
 
 __all__ = ["nested_loop_join"]
-
-
-def _multiset_l1(c1: Counter, c2: Counter) -> int:
-    keys = set(c1) | set(c2)
-    return sum(abs(c1.get(k, 0) - c2.get(k, 0)) for k in keys)
 
 
 def nested_loop_join(
@@ -58,18 +52,15 @@ def nested_loop_join(
     check_join_inputs(trees, tau)
     stats = JoinStats(method="NL", tau=tau, tree_count=len(trees))
     collection = SizeSortedCollection(trees)
-    verifier = Verifier(trees, tau)
+    # When this join screens with the bag bounds itself, the verifier skips
+    # its identical checks — every candidate handed over already passed.
+    verifier = Verifier(trees, tau, bag_bounds=not use_bounds)
 
-    label_bags: list[Counter] = []
-    degree_bags: list[Counter] = []
-    branch_bags: list[Counter] = []
+    feats = []
     if use_bounds:
-        start = time.perf_counter()
-        for tree in trees:
-            label_bags.append(Counter(tree.labels()))
-            degree_bags.append(Counter(n.degree for n in tree.iter_preorder()))
-            branch_bags.append(binary_branches(tree))
-        stats.candidate_time += time.perf_counter() - start
+        # The screen reads the verifier's per-tree feature cache (each
+        # bag is built lazily on first touch and shared thereafter).
+        feats = [verifier.features(k) for k in range(len(trees))]
 
     pairs = []
     for pos_a, pos_b in collection.iter_window_pairs(tau):
@@ -78,10 +69,11 @@ def nested_loop_join(
         j = collection.original_index(pos_b)
         if use_bounds:
             start = time.perf_counter()
+            fi, fj = feats[i], feats[j]
             pruned = (
-                _multiset_l1(label_bags[i], label_bags[j]) > 2 * tau
-                or _multiset_l1(degree_bags[i], degree_bags[j]) > 3 * tau
-                or _multiset_l1(branch_bags[i], branch_bags[j]) > 5 * tau
+                _multiset_l1(fi.label_bag, fj.label_bag) > 2 * tau
+                or _multiset_l1(fi.degree_bag, fj.degree_bag) > 3 * tau
+                or _multiset_l1(fi.branch_bag, fj.branch_bag) > 5 * tau
             )
             stats.candidate_time += time.perf_counter() - start
             if pruned:
@@ -93,5 +85,6 @@ def nested_loop_join(
     stats.ted_calls = verifier.stats_ted_calls
     stats.verify_time = verifier.stats_time
     stats.results = len(pairs)
+    stats.extra.update(verifier.extra_stats())
     pairs.sort(key=lambda p: p.key())
     return JoinResult(pairs=pairs, stats=stats)

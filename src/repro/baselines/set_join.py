@@ -17,7 +17,7 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
-from repro.baselines.binary_branch import binary_branches, branch_bag_distance
+from repro.baselines.binary_branch import branch_bag_distance
 from repro.baselines.common import (
     JoinResult,
     JoinStats,
@@ -41,10 +41,14 @@ def set_join(trees: Sequence[Tree], tau: int) -> JoinResult:
     check_join_inputs(trees, tau)
     stats = JoinStats(method="SET", tau=tau, tree_count=len(trees))
     collection = SizeSortedCollection(trees)
-    verifier = Verifier(trees, tau)
+    # The verifier skips the branch bound this screen applies (bib <= 5*tau
+    # is the same bag L1) and still adds the label/degree/traversal bounds.
+    verifier = Verifier(trees, tau, bag_bounds=("labels", "degrees"))
 
+    # Branch bags come from the verifier's shared per-tree feature cache
+    # (only the branch part is materialized; the rest stays lazy).
     start = time.perf_counter()
-    bags = [binary_branches(tree) for tree in trees]
+    bags = [verifier.features(k).branch_bag for k in range(len(trees))]
     stats.candidate_time += time.perf_counter() - start
 
     budget = 5 * tau
@@ -71,5 +75,6 @@ def set_join(trees: Sequence[Tree], tau: int) -> JoinResult:
     stats.verify_time = verifier.stats_time
     stats.results = len(pairs)
     stats.extra["pruned_by_bib"] = pruned
+    stats.extra.update(verifier.extra_stats())
     pairs.sort(key=lambda p: p.key())
     return JoinResult(pairs=pairs, stats=stats)

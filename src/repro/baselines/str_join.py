@@ -57,7 +57,9 @@ def str_join(trees: Sequence[Tree], tau: int, banded: bool = True) -> JoinResult
     stats = JoinStats(method="STR", tau=tau, tree_count=len(trees))
     stats.extra["banded"] = banded
     collection = SizeSortedCollection(trees)
-    verifier = Verifier(trees, tau)
+    # STR candidates already passed the banded pre/postorder string filter,
+    # so the verifier skips its own traversal-string bound.
+    verifier = Verifier(trees, tau, traversal_bound=False)
 
     # Traversal strings are computed once per tree, not once per pair.
     start = time.perf_counter()
@@ -102,5 +104,6 @@ def str_join(trees: Sequence[Tree], tau: int, banded: bool = True) -> JoinResult
     stats.results = len(pairs)
     stats.extra["pruned_by_preorder"] = pruned_pre
     stats.extra["pruned_by_postorder"] = pruned_post
+    stats.extra.update(verifier.extra_stats())
     pairs.sort(key=lambda p: p.key())
     return JoinResult(pairs=pairs, stats=stats)

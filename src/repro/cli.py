@@ -136,6 +136,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
                 "results": result.stats.results,
                 "candidate_time": result.stats.candidate_time,
                 "verify_time": result.stats.verify_time,
+                "ted_calls": result.stats.ted_calls,
+                "extra": result.stats.extra,
             },
             "pairs": [[p.i, p.j, p.distance] for p in result.pairs],
         }

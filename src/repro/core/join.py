@@ -247,6 +247,7 @@ def partsj_join(
     stats.pairs_considered = counters.probe_hits + counters.small_pool_pairs
     stats.extra = counters.as_dict()
     stats.extra["total_indexed_subgraphs"] = index.total_subgraphs
+    stats.extra.update(verifier.extra_stats())
     pairs.sort(key=lambda p: p.key())
     return JoinResult(pairs=pairs, stats=stats)
 

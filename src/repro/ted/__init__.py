@@ -3,14 +3,26 @@
 from repro.ted.api import TED_ALGORITHMS, ted, ted_within
 from repro.ted.bounds import (
     binary_branch_lower_bound,
+    branch_bound_from_bags,
     composite_lower_bound,
+    composite_lower_bound_from_bags,
+    degree_bound_from_bags,
     degree_histogram_lower_bound,
+    label_bound_from_bags,
     label_multiset_lower_bound,
+    multiset_l1,
     size_lower_bound,
     traversal_string_lower_bound,
     trivial_upper_bound,
 )
-from repro.ted.rted import decomposition_costs, mirror_tree, ted_hybrid
+from repro.ted.cutoff import zhang_shasha_bounded
+from repro.ted.rted import (
+    MIRROR_SIZE_CUTOFF,
+    decomposition_costs,
+    mirror_tree,
+    oriented_pair,
+    ted_hybrid,
+)
 from repro.ted.simple import ted_reference
 from repro.ted.string_edit import string_edit_distance, string_edit_within
 from repro.ted.zhang_shasha import AnnotatedTree, zhang_shasha
@@ -20,18 +32,26 @@ __all__ = [
     "ted_within",
     "TED_ALGORITHMS",
     "zhang_shasha",
+    "zhang_shasha_bounded",
     "AnnotatedTree",
     "ted_hybrid",
     "ted_reference",
     "mirror_tree",
+    "oriented_pair",
+    "MIRROR_SIZE_CUTOFF",
     "decomposition_costs",
     "string_edit_distance",
     "string_edit_within",
+    "multiset_l1",
     "size_lower_bound",
     "label_multiset_lower_bound",
     "degree_histogram_lower_bound",
     "traversal_string_lower_bound",
     "binary_branch_lower_bound",
     "composite_lower_bound",
+    "composite_lower_bound_from_bags",
+    "label_bound_from_bags",
+    "degree_bound_from_bags",
+    "branch_bound_from_bags",
     "trivial_upper_bound",
 ]

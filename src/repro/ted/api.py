@@ -68,8 +68,12 @@ def ted_within(
     """Return ``TED(t1, t2)`` if it is ``<= tau``, else ``None``.
 
     With ``use_bounds`` (default) the O(n) composite lower bound screens the
-    pair before the cubic exact computation; the result is identical either
-    way because the bounds are proven lower bounds.
+    pair before the exact computation; the result is identical either way
+    because the bounds are proven lower bounds.  For the Zhang–Shasha-based
+    algorithms (``"rted"``, ``"zhang_shasha"``) the exact computation is the
+    tau-banded DP of :mod:`repro.ted.cutoff`, which fills only the cells a
+    ``<= tau`` distance can reach and stops as soon as the threshold is
+    provably exceeded.
 
     >>> a, b = Tree.from_bracket("{a{b}}"), Tree.from_bracket("{a{b}{c}{d}}")
     >>> ted_within(a, b, 1) is None
@@ -84,5 +88,16 @@ def ted_within(
 
         if composite_lower_bound(t1, t2) > tau:
             return None
+    if algorithm in ("zhang_shasha", "rted"):
+        from repro.ted.cutoff import zhang_shasha_bounded
+        from repro.ted.rted import MIRROR_SIZE_CUTOFF, oriented_pair
+
+        if algorithm == "rted":
+            # Orientation-adaptive, as ted_hybrid, but small pairs skip
+            # the mirroring (the banded DP is cheap either way).
+            a1, a2 = oriented_pair(t1, t2, size_cutoff=MIRROR_SIZE_CUTOFF)
+        else:
+            a1, a2 = t1, t2
+        return zhang_shasha_bounded(a1, a2, tau)
     distance = ted(t1, t2, algorithm=algorithm)
     return distance if distance <= tau else None

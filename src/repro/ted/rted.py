@@ -28,9 +28,22 @@ from typing import Callable, Optional
 from repro.tree.node import Tree, TreeNode
 from repro.ted.zhang_shasha import AnnotatedTree, zhang_shasha
 
-__all__ = ["ted_hybrid", "mirror_tree", "decomposition_costs"]
+__all__ = [
+    "MIRROR_SIZE_CUTOFF",
+    "ted_hybrid",
+    "mirror_tree",
+    "decomposition_costs",
+    "choose_orientation",
+    "oriented_pair",
+]
 
 RenameCost = Callable[[str, str], int]
+
+# Below this size the orientation choice cannot matter enough to pay for
+# mirroring both trees (mirror + annotation are O(n) each, and a tiny DP is
+# cheap under either orientation).  Threshold-aware callers (the verifier,
+# ted_within) pass it to oriented_pair; ted_hybrid keeps the pure choice.
+MIRROR_SIZE_CUTOFF = 16
 
 
 def mirror_tree(tree: Tree) -> Tree:
@@ -73,6 +86,43 @@ def decomposition_costs(t1: Tree, t2: Tree) -> tuple[int, int]:
     return left, right
 
 
+def choose_orientation(
+    a1: AnnotatedTree,
+    a2: AnnotatedTree,
+    mirrored: "Callable[[], tuple[AnnotatedTree, AnnotatedTree]]",
+    size_cutoff: int = 0,
+) -> tuple[AnnotatedTree, AnnotatedTree]:
+    """The single definition of the orientation heuristic.
+
+    Compares the keyroot-weight products of both orientations and returns
+    the cheaper annotated pair; ``mirrored`` supplies the mirrored
+    annotations only when actually needed (the verifier passes its cached
+    getters).  With ``size_cutoff`` set, pairs of trees that are both
+    smaller keep the leftmost orientation without ever mirroring.
+    """
+    if size_cutoff and a1.size < size_cutoff and a2.size < size_cutoff:
+        return a1, a2
+    left_cost = a1.keyroot_weight() * a2.keyroot_weight()
+    b1, b2 = mirrored()
+    if b1.keyroot_weight() * b2.keyroot_weight() < left_cost:
+        return b1, b2
+    return a1, a2
+
+
+def oriented_pair(
+    t1: Tree,
+    t2: Tree,
+    size_cutoff: int = 0,
+) -> tuple[AnnotatedTree, AnnotatedTree]:
+    """Annotations of ``(t1, t2)`` in the cheaper decomposition orientation."""
+    return choose_orientation(
+        AnnotatedTree(t1),
+        AnnotatedTree(t2),
+        lambda: (AnnotatedTree(mirror_tree(t1)), AnnotatedTree(mirror_tree(t2))),
+        size_cutoff,
+    )
+
+
 def ted_hybrid(
     t1: Tree,
     t2: Tree,
@@ -84,16 +134,5 @@ def ted_hybrid(
     >>> ted_hybrid(a, Tree.from_bracket("{a{b{c}}}"))
     1
     """
-    a1 = AnnotatedTree(t1)
-    a2 = AnnotatedTree(t2)
-    left_cost = a1.keyroot_weight() * a2.keyroot_weight()
-
-    m1 = mirror_tree(t1)
-    m2 = mirror_tree(t2)
-    b1 = AnnotatedTree(m1)
-    b2 = AnnotatedTree(m2)
-    right_cost = b1.keyroot_weight() * b2.keyroot_weight()
-
-    if right_cost < left_cost:
-        return zhang_shasha(b1, b2, rename_cost)
-    return zhang_shasha(a1, a2, rename_cost)
+    x1, x2 = oriented_pair(t1, t2)
+    return zhang_shasha(x1, x2, rename_cost)

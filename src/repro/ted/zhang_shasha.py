@@ -47,7 +47,7 @@ class AnnotatedTree:
         Ascending postorder numbers of the LR-keyroots.
     """
 
-    __slots__ = ("size", "labels", "lmld", "keyroots")
+    __slots__ = ("size", "labels", "lmld", "keyroots", "_keyroot_weight")
 
     def __init__(self, tree: Tree):
         order: list[TreeNode] = list(tree.iter_postorder())
@@ -71,6 +71,7 @@ class AnnotatedTree:
         self.labels = labels
         self.lmld = lmld
         self.keyroots = keyroots
+        self._keyroot_weight: Optional[int] = None
 
     def keyroot_weight(self) -> int:
         """Sum of keyroot subtree sizes: |subtree(k)| = k - lmld[k] + 1.
@@ -78,8 +79,12 @@ class AnnotatedTree:
         The number of forest-distance cells Zhang–Shasha fills for a tree
         pair factorizes as ``weight(T1) * weight(T2)``; the hybrid in
         :mod:`repro.ted.rted` uses this to pick a decomposition orientation.
+        Computed once and memoized — the verifier consults it for all four
+        annotations of every candidate pair.
         """
-        return sum(k - self.lmld[k] + 1 for k in self.keyroots)
+        if self._keyroot_weight is None:
+            self._keyroot_weight = sum(k - self.lmld[k] + 1 for k in self.keyroots)
+        return self._keyroot_weight
 
 
 def zhang_shasha(

@@ -73,12 +73,76 @@ class TestVerifier:
         assert Verifier(trees, tau=2).verify(0, 1) == 2
 
     def test_counters_accumulate(self, rng):
-        trees = [make_random_tree(rng, 5) for _ in range(4)]
+        # Near-identical pairs pass every bound, so each verify runs a DP.
+        base = make_random_tree(rng, 20)
+        trees = [base, base.copy(), base, base.copy()]
         verifier = Verifier(trees, tau=2)
-        verifier.verify(0, 1)
-        verifier.verify(2, 3)
+        assert verifier.verify(0, 1) == 0
+        assert verifier.verify(2, 3) == 0
         assert verifier.stats_ted_calls == 2
         assert verifier.stats_time > 0
+
+    def test_lower_bound_filter_counts_and_skips_dp(self):
+        trees = [
+            Tree.from_bracket("{a{a}{a}{a}{a}{a}{a}}"),
+            Tree.from_bracket("{z{y}{x}{w}{v}{u}{t}}"),
+        ]
+        verifier = Verifier(trees, tau=2)
+        assert verifier.verify(0, 1) is None
+        assert verifier.stats_lb_filtered == 1
+        assert verifier.stats_ted_calls == 0  # no DP was needed
+
+    def test_upper_bound_accepts_without_filters(self):
+        trees = [Tree.from_bracket("{a{b}}"), Tree.from_bracket("{a{c}}")]
+        verifier = Verifier(trees, tau=4)  # trivial upper bound = 2 <= tau
+        assert verifier.verify(0, 1) == 1  # exact distance still reported
+        assert verifier.stats_ub_accepted == 1
+        assert verifier.stats_lb_filtered == 0
+
+    def test_upper_bound_certified_mode_skips_dp(self):
+        trees = [Tree.from_bracket("{a{b}}"), Tree.from_bracket("{a{c}}")]
+        verifier = Verifier(trees, tau=4, exact_distances=False)
+        value = verifier.verify(0, 1)
+        assert value == 2  # the trivial upper bound, certified <= tau
+        assert verifier.stats_ted_calls == 0
+
+    def test_ted_early_exit_counts(self):
+        # This pair survives every bag and traversal-string bound at tau=2
+        # but has TED 4, so only the banded DP's cutoff can reject it.
+        trees = [
+            Tree.from_bracket("{b{a{a}}{a}{a}}"),
+            Tree.from_bracket("{b{a{a{a{a{a}}}}}{a}}"),
+        ]
+        verifier = Verifier(trees, tau=2)
+        assert verifier.verify(0, 1) is None
+        assert verifier.stats_ted_early_exits == 1
+        assert verifier.stats_lb_filtered == 0
+
+    def test_threshold_unaware_mode_matches(self, rng):
+        trees = [make_random_tree(rng, rng.randint(2, 12)) for _ in range(8)]
+        fast = Verifier(trees, tau=2)
+        slow = Verifier(trees, tau=2, threshold_aware=False)
+        for i in range(len(trees)):
+            for j in range(i + 1, len(trees)):
+                assert fast.verify(i, j) == slow.verify(i, j)
+
+    def test_verify_reports_exact_distances(self, rng):
+        trees = [make_random_tree(rng, rng.randint(1, 10)) for _ in range(8)]
+        for tau in (0, 1, 3, 6):
+            verifier = Verifier(trees, tau=tau)
+            for i in range(len(trees)):
+                for j in range(i + 1, len(trees)):
+                    exact = zhang_shasha(trees[i], trees[j])
+                    expected = exact if exact <= tau else None
+                    assert verifier.verify(i, j) == expected
+
+    def test_extra_stats_keys(self):
+        verifier = Verifier([Tree.from_bracket("{a}")], tau=1)
+        assert set(verifier.extra_stats()) == {
+            "lb_filtered",
+            "ub_accepted",
+            "ted_early_exits",
+        }
 
     def test_annotations_are_cached(self, rng):
         trees = [make_random_tree(rng, 8) for _ in range(3)]

@@ -138,7 +138,9 @@ class TestStatistics:
         assert stats.method == "PRT"
         assert stats.tree_count == len(sample_forest)
         assert stats.results == len(result.pairs)
-        assert stats.ted_calls == stats.candidates  # one verification each
+        # Each candidate is either rejected by a verifier bound (no DP) or
+        # verified with exactly one banded DP.
+        assert stats.ted_calls == stats.candidates - stats.extra["lb_filtered"]
         assert stats.results <= stats.candidates
         assert stats.extra["match_hits"] <= stats.extra["match_tests"]
         assert stats.extra["match_hits"] + stats.extra["small_pool_pairs"] == (

@@ -1,0 +1,106 @@
+"""Tests for the tau-banded Zhang–Shasha (repro.ted.cutoff).
+
+The central property: for every tree pair and every tau, the banded DP
+returns exactly ``zhang_shasha(t1, t2)`` when that distance is ``<= tau``
+and the ``None`` sentinel otherwise.  Both directions matter — a band or
+early-exit bug shows up as a too-large value or a spurious sentinel.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ted.cutoff import zhang_shasha_bounded
+from repro.ted.zhang_shasha import AnnotatedTree, zhang_shasha
+from repro.tree.node import Tree
+from tests.conftest import make_cluster_forest, make_random_tree, trees
+
+
+def expected(t1, t2, tau, rename_cost=None):
+    exact = zhang_shasha(t1, t2, rename_cost)
+    return exact if exact <= tau else None
+
+
+class TestAgainstUnbounded:
+    @given(t1=trees(), t2=trees(), tau=st.integers(min_value=0, max_value=8))
+    @settings(
+        max_examples=200,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_property_agrees_with_zhang_shasha(self, t1, t2, tau):
+        assert zhang_shasha_bounded(t1, t2, tau) == expected(t1, t2, tau)
+
+    def test_clustered_forest_all_pairs_all_taus(self, rng):
+        forest = make_cluster_forest(
+            rng, clusters=3, cluster_size=3, base_size=10, max_edits=4
+        )
+        for i, t1 in enumerate(forest):
+            for t2 in forest[i + 1:]:
+                for tau in (0, 1, 2, 3, 5, 40):
+                    assert zhang_shasha_bounded(t1, t2, tau) == expected(t1, t2, tau)
+
+    @pytest.mark.parametrize("shape1,shape2", [
+        # Combs and stars stress the keyroot structure (buffer reuse across
+        # many keyroot pairs) from both extremes.
+        ("{a{b{c{d{e{f}}}}}}", "{a{b{c{e{f}}}}}"),
+        ("{a{b}{c}{d}{e}{f}}", "{a{b}{c}{d}{f}}"),
+        ("{a{b{c}{d}}{e{f}{g}}}", "{a{b{c}{d}}{e{f}}}"),
+    ])
+    def test_shaped_trees(self, shape1, shape2):
+        t1, t2 = Tree.from_bracket(shape1), Tree.from_bracket(shape2)
+        for tau in range(0, 6):
+            assert zhang_shasha_bounded(t1, t2, tau) == expected(t1, t2, tau)
+
+    def test_custom_rename_cost(self, rng):
+        double = lambda a, b: 0 if a == b else 2
+        for _ in range(25):
+            t1 = make_random_tree(rng, rng.randint(1, 10))
+            t2 = make_random_tree(rng, rng.randint(1, 10))
+            for tau in (0, 2, 4, 10):
+                assert zhang_shasha_bounded(t1, t2, tau, double) == expected(
+                    t1, t2, tau, double
+                )
+
+
+class TestSentinelAndEdges:
+    def test_identical_trees(self):
+        tree = Tree.from_bracket("{a{b{c}}{d}}")
+        assert zhang_shasha_bounded(tree, tree.copy(), 0) == 0
+
+    def test_size_filter_short_circuit(self):
+        small = Tree.from_bracket("{a}")
+        big = Tree.from_bracket("{a{b}{c}{d}{e}}")
+        assert zhang_shasha_bounded(small, big, 3) is None
+
+    def test_negative_tau_is_sentinel(self):
+        tree = Tree.from_bracket("{a}")
+        assert zhang_shasha_bounded(tree, tree.copy(), -1) is None
+
+    def test_single_nodes(self):
+        a, b = Tree.from_bracket("{a}"), Tree.from_bracket("{b}")
+        assert zhang_shasha_bounded(a, b, 0) is None
+        assert zhang_shasha_bounded(a, b, 1) == 1
+        assert zhang_shasha_bounded(a, a.copy(), 0) == 0
+
+    def test_accepts_annotated_trees(self, rng):
+        t1 = make_random_tree(rng, 8)
+        t2 = make_random_tree(rng, 9)
+        a1, a2 = AnnotatedTree(t1), AnnotatedTree(t2)
+        for tau in (0, 2, 5, 20):
+            assert zhang_shasha_bounded(a1, a2, tau) == expected(t1, t2, tau)
+
+    def test_huge_tau_equals_exact(self, rng):
+        t1 = make_random_tree(rng, 12)
+        t2 = make_random_tree(rng, 7)
+        assert zhang_shasha_bounded(t1, t2, 1000) == zhang_shasha(t1, t2)
+
+    def test_annotations_not_mutated_across_calls(self, rng):
+        # The reused fd buffer lives inside one call; repeated calls on the
+        # same annotations must keep agreeing.
+        t1 = make_random_tree(rng, 10)
+        t2 = make_random_tree(rng, 10)
+        a1, a2 = AnnotatedTree(t1), AnnotatedTree(t2)
+        first = [zhang_shasha_bounded(a1, a2, tau) for tau in (0, 1, 2, 3)]
+        second = [zhang_shasha_bounded(a1, a2, tau) for tau in (0, 1, 2, 3)]
+        assert first == second

@@ -11,6 +11,7 @@ MODULE_NAMES = [
     "repro.search",
     "repro.core.join",
     "repro.ted.api",
+    "repro.ted.cutoff",
     "repro.ted.string_edit",
     "repro.ted.zhang_shasha",
     "repro.ted.binary_branch",
