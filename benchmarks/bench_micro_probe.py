@@ -1,0 +1,194 @@
+"""Microbenchmark: flat-array vs PR-1 candidate generation.
+
+PR 1 made verification ~50-100x faster, which left PartSJ dominated by
+candidate generation — the probe/insert machinery of Algorithm 1 and the
+Section 3.4 two-layer index.  This benchmark runs the current flat-array
+engine (interned labels, packed twig keys, one index entry per subgraph,
+int-array matching) head to head against the frozen PR-1 reference
+implementation (``_legacy_candidates``) on the standard probe workload:
+
+- both joins must return *bit-identical* results (same pairs, same exact
+  distances) — verification is shared, so any difference would be a
+  candidate-generation bug;
+- the probe/insert breakdown (``JoinStats.probe_time`` / ``index_time``)
+  is reported per tau and the candidate-generation phase must be >= 3x
+  faster than PR 1 at tau in {1, 2};
+- ``python benchmarks/bench_micro_probe.py --snapshot`` regenerates
+  ``BENCH_PR2.json`` (tau in {1, 2, 3} end-to-end PartSJ timings plus the
+  measured speedups), which the CI perf-smoke step uses as its regression
+  baseline: the live speedup may not fall below half the committed one.
+
+Run with ``pytest benchmarks/bench_micro_probe.py`` (the comparison test)
+or ``--benchmark-only`` for the timed engine variants alone.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.join import partsj_join
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _legacy_candidates import legacy_partsj_join  # noqa: E402
+
+SNAPSHOT_PATH = Path(__file__).parent.parent / "BENCH_PR2.json"
+TAUS = (1, 2)
+SNAPSHOT_TAUS = (1, 2, 3)
+REPEATS = 4
+# Acceptance bar for the flat-array engine: candidate generation >= 3x
+# faster than PR 1 at small tau on the standard probe workload.
+MIN_SPEEDUP = 3.0
+
+
+def best_joins(trees, tau, repeats=REPEATS):
+    """Best-of-``repeats`` runs of both engines (interleaved, noise-robust).
+
+    Returns ``(new_result, legacy_pairs, legacy_stats)`` where each engine
+    kept its fastest candidate-generation run.
+    """
+    best_new = None
+    best_legacy = None
+    for _ in range(repeats):
+        result = partsj_join(trees, tau)
+        if (
+            best_new is None
+            or result.stats.candidate_time < best_new.stats.candidate_time
+        ):
+            best_new = result
+        pairs, stats = legacy_partsj_join(trees, tau)
+        if best_legacy is None or stats.candidate_time < best_legacy[1].candidate_time:
+            best_legacy = (pairs, stats)
+    return best_new, best_legacy[0], best_legacy[1]
+
+
+@pytest.mark.parametrize("tau", TAUS)
+def test_candidates_flat(benchmark, probe_workload, tau):
+    result = benchmark(lambda: partsj_join(probe_workload, tau))
+    assert result.stats.candidates >= result.stats.results
+
+
+@pytest.mark.parametrize("tau", TAUS)
+def test_candidates_legacy(benchmark, probe_workload, tau):
+    pairs, stats = benchmark(lambda: legacy_partsj_join(probe_workload, tau))
+    assert stats.candidates >= len(pairs)
+
+
+def measure(trees, taus=TAUS, repeats=REPEATS):
+    """Run both engines per tau; return report lines + per-tau metrics."""
+    lines = [
+        "== micro_probe: flat-array vs PR-1 candidate generation ==",
+        f"trees={len(trees)} (standard probe workload)",
+    ]
+    metrics = {}
+    for tau in taus:
+        new, legacy_pairs, legacy = best_joins(trees, tau, repeats)
+        new_pairs = [(p.i, p.j, p.distance) for p in new.pairs]
+        old_pairs = [(p.i, p.j, p.distance) for p in legacy_pairs]
+        assert new_pairs == old_pairs, f"tau={tau}: candidate engines disagree"
+        stats = new.stats
+        speedup = legacy.candidate_time / max(stats.candidate_time, 1e-9)
+        metrics[tau] = {
+            "trees": len(trees),
+            "results": stats.results,
+            "candidates": stats.candidates,
+            "probe_hits": stats.extra["probe_hits"],
+            "index_entries": stats.extra["total_index_entries"],
+            "legacy_index_entries": legacy.total_index_entries,
+            "probe_time": round(stats.probe_time, 4),
+            "index_time": round(stats.index_time, 4),
+            "candidate_time": round(stats.candidate_time, 4),
+            "verify_time": round(stats.verify_time, 4),
+            "legacy_probe_time": round(legacy.probe_time, 4),
+            "legacy_index_time": round(legacy.index_time, 4),
+            "legacy_candidate_time": round(legacy.candidate_time, 4),
+            "candidate_speedup": round(speedup, 2),
+        }
+        lines.append(
+            f"tau={tau}: cand gen {legacy.candidate_time:.3f}s -> "
+            f"{stats.candidate_time:.3f}s ({speedup:.1f}x) | "
+            f"probe {legacy.probe_time:.3f}s -> {stats.probe_time:.3f}s, "
+            f"insert {legacy.index_time:.3f}s -> {stats.index_time:.3f}s | "
+            f"entries {legacy.total_index_entries} -> "
+            f"{stats.extra['total_index_entries']} | "
+            f"candidates={stats.candidates} results={stats.results}"
+        )
+    return lines, metrics
+
+
+def test_flat_engine_speedup_and_identical_results(
+    probe_workload, scale, results_dir
+):
+    from conftest import save_and_print
+
+    lines, metrics = measure(probe_workload)
+    for tau, m in metrics.items():
+        # One entry per subgraph vs 2*tau+1 duplicated window keys.
+        assert m["index_entries"] * (2 * tau + 1) == m["legacy_index_entries"]
+        assert m["candidate_speedup"] >= MIN_SPEEDUP, lines
+    save_and_print(results_dir, "micro_probe", scale, "\n".join(lines) + "\n")
+
+
+def test_smoke_guard_against_committed_baseline(probe_workload):
+    """CI regression guard: live speedup vs. the committed snapshot.
+
+    Ratios (not absolute seconds) are compared so the guard is robust to
+    runner hardware: candidate generation has regressed when the live
+    legacy/new speedup falls below *half* the committed speedup.
+    """
+    if not SNAPSHOT_PATH.exists():
+        pytest.skip("no committed BENCH_PR2.json")
+    committed = json.loads(SNAPSHOT_PATH.read_text())
+    _, metrics = measure(probe_workload, repeats=3)
+    for tau in TAUS:
+        recorded = committed["taus"][str(tau)]["candidate_speedup"]
+        live = metrics[tau]["candidate_speedup"]
+        assert live >= recorded / 2, (
+            f"tau={tau}: candidate generation regressed: live speedup "
+            f"{live:.2f}x < committed {recorded:.2f}x / 2"
+        )
+
+
+def write_snapshot() -> dict:
+    """Regenerate ``BENCH_PR2.json`` from a fresh measurement.
+
+    Uses the exact probe-workload definition of ``benchmarks/conftest.py``
+    (smoke count), so the CI guard always compares the committed ratio
+    against a live run of the same workload.
+    """
+    from conftest import (
+        PROBE_WORKLOAD_COUNTS,
+        PROBE_WORKLOAD_SEED,
+        PROBE_WORKLOAD_SHAPE,
+        make_probe_workload,
+    )
+
+    count = PROBE_WORKLOAD_COUNTS["smoke"]
+    trees = make_probe_workload(count)
+    lines, metrics = measure(trees, taus=SNAPSHOT_TAUS)
+    snapshot = {
+        "description": (
+            "PartSJ end-to-end timings and candidate-generation speedup of "
+            "the flat-array engine (PR 2) vs the PR-1 reference, on the "
+            "standard probe workload (smoke scale). Regenerate with: "
+            "python benchmarks/bench_micro_probe.py --snapshot"
+        ),
+        "workload": {
+            "count": count,
+            **PROBE_WORKLOAD_SHAPE,
+            "seed": PROBE_WORKLOAD_SEED,
+        },
+        "taus": {str(tau): m for tau, m in metrics.items()},
+    }
+    SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print("\n".join(lines))
+    print(f"wrote {SNAPSHOT_PATH}")
+    return snapshot
+
+
+if __name__ == "__main__":
+    if "--snapshot" in sys.argv:
+        write_snapshot()
+    else:
+        print(__doc__)

@@ -58,6 +58,37 @@ def verify_workload(scale):
     )
 
 
+# Trees per scale for the candidate-generation microbenchmark
+# (bench_micro_probe.py): probing and inserting are cheap per tree, so the
+# counts can be larger than the verify workload's.
+PROBE_WORKLOAD_COUNTS = {"smoke": 250, "small": 400, "medium": 600}
+# Shape and seed of the probe workload.  The BENCH_PR2.json snapshot is
+# recorded on this exact definition (at smoke count), so the CI guard
+# compares like with like; regenerate the snapshot when changing it.
+PROBE_WORKLOAD_SHAPE = dict(avg_size=150, max_fanout=4, max_depth=6, cluster_size=8)
+PROBE_WORKLOAD_SEED = 1105
+
+
+def make_probe_workload(count: int):
+    """The standard candidate-generation workload at a given tree count.
+
+    Larger, bushier trees than the verify workload: candidate generation
+    cost scales with node count, and the big-tree regime is where the
+    paper's probe/insert machinery (not TED) dominates the join.
+    """
+    from repro.datasets.synthetic import SyntheticParams, generate_forest
+
+    return generate_forest(
+        count, SyntheticParams(**PROBE_WORKLOAD_SHAPE), seed=PROBE_WORKLOAD_SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def probe_workload(scale):
+    """Clustered synthetic trees for candidate-generation microbenchmarks."""
+    return make_probe_workload(PROBE_WORKLOAD_COUNTS.get(scale.name, 250))
+
+
 def save_and_print(results_dir: Path, name: str, scale, text: str) -> None:
     """Echo a rendered figure and persist it under benchmarks/results/."""
     print()

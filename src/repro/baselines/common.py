@@ -95,8 +95,14 @@ class JoinStats:
     results: int = 0  # pairs with TED <= tau
     ted_calls: int = 0  # exact TED computations performed
     pairs_considered: int = 0  # pairs examined by the filter phase
-    candidate_time: float = 0.0  # seconds in candidate generation
+    candidate_time: float = 0.0  # seconds in candidate generation (probe + index)
     verify_time: float = 0.0  # seconds in TED verification
+    # Candidate generation split: time probing existing index structures for
+    # candidates vs. time building/inserting them (PartSJ's insert phase).
+    # Filter-only baselines do all their candidate work in the probe phase,
+    # so for them probe_time == candidate_time and index_time == 0.
+    probe_time: float = 0.0
+    index_time: float = 0.0
     # Method-specific counters.  Every join additionally merges the
     # verifier's breakdown here: ``lb_filtered`` (candidates rejected by a
     # lower bound, no DP), ``ub_accepted`` (candidates accepted by the
@@ -110,11 +116,18 @@ class JoinStats:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
+        if self.index_time > 0:
+            cand = (
+                f"cand {self.candidate_time:.3f}s "
+                f"(probe {self.probe_time:.3f}s + index {self.index_time:.3f}s)"
+            )
+        else:
+            cand = f"cand {self.candidate_time:.3f}s"
         return (
             f"{self.method}(tau={self.tau}, n={self.tree_count}): "
             f"{self.results} results, {self.candidates} candidates, "
             f"{self.ted_calls} TED calls, "
-            f"cand {self.candidate_time:.3f}s + ted {self.verify_time:.3f}s"
+            f"{cand} + ted {self.verify_time:.3f}s"
         )
 
 

@@ -99,6 +99,7 @@ def str_join(trees: Sequence[Tree], tau: int, banded: bool = True) -> JoinResult
         if distance is not None:
             pairs.append(collection.make_pair(pos_a, pos_b, distance))
 
+    stats.probe_time = stats.candidate_time  # filter-only: no insert phase
     stats.ted_calls = verifier.stats_ted_calls
     stats.verify_time = verifier.stats_time
     stats.results = len(pairs)

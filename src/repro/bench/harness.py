@@ -45,6 +45,10 @@ class CellResult:
     results: int
     ted_calls: int
     wall_time: float
+    # Candidate-generation split (probe vs index build); for filter-only
+    # baselines probe_time == candidate_time and index_time == 0.
+    probe_time: float = 0.0
+    index_time: float = 0.0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -59,6 +63,8 @@ class CellResult:
             "x_name": self.x_name,
             "x_value": self.x_value,
             "candidate_time": round(self.candidate_time, 4),
+            "probe_time": round(self.probe_time, 4),
+            "index_time": round(self.index_time, 4),
             "verify_time": round(self.verify_time, 4),
             "total_time": round(self.total_time, 4),
             "candidates": self.candidates,
@@ -109,6 +115,8 @@ def run_cell(
         results=stats.results,
         ted_calls=stats.ted_calls,
         wall_time=wall,
+        probe_time=stats.probe_time,
+        index_time=stats.index_time,
         extra=dict(stats.extra),
     )
 

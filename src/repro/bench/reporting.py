@@ -52,7 +52,12 @@ def _methods(cells: Sequence[CellResult], include: Sequence[str]) -> list[str]:
 
 
 def runtime_table(cells: Sequence[CellResult], dataset: str) -> str:
-    """Runtime split per method and x-value (one paper bar per row)."""
+    """Runtime split per method and x-value (one paper bar per row).
+
+    Candidate generation is additionally broken into its probe and
+    index-build parts (``JoinStats.probe_time`` / ``index_time``); for
+    filter-only baselines the index column is zero.
+    """
     subset = [
         c for c in cells if c.dataset == dataset and not c.method.startswith("REL")
     ]
@@ -71,10 +76,15 @@ def runtime_table(cells: Sequence[CellResult], dataset: str) -> str:
                 x_value,
                 method,
                 f"{cell.candidate_time:.3f}",
+                f"{cell.probe_time:.3f}",
+                f"{cell.index_time:.3f}",
                 f"{cell.verify_time:.3f}",
                 f"{cell.total_time:.3f}",
             ])
-    headers = [x_name, "method", "cand gen (s)", "TED (s)", "total (s)"]
+    headers = [
+        x_name, "method", "cand gen (s)", "probe (s)", "index (s)",
+        "TED (s)", "total (s)",
+    ]
     return format_table(headers, rows)
 
 

@@ -135,6 +135,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
                 "candidates": result.stats.candidates,
                 "results": result.stats.results,
                 "candidate_time": result.stats.candidate_time,
+                "probe_time": result.stats.probe_time,
+                "index_time": result.stats.index_time,
                 "verify_time": result.stats.verify_time,
                 "ted_calls": result.stats.ted_calls,
                 "extra": result.stats.extra,

@@ -1,11 +1,13 @@
 """PartSJ core: partitioning, subgraphs, the two-layer index, and the join."""
 
 from repro.core.index import InvertedSizeIndex, PostorderFilter, TwoLayerIndex
+from repro.core.intern import DEFAULT_INTERNER, LabelInterner, pack_twig, unpack_twig
 from repro.core.join import PartSJConfig, partsj_join
 from repro.core.partition import (
     extract_partition,
     extract_random_partition,
     max_min_size,
+    max_min_size_cached,
     min_partitionable_size,
     partitionable,
 )
@@ -21,8 +23,13 @@ __all__ = [
     "TreeCache",
     "TwoLayerIndex",
     "InvertedSizeIndex",
+    "LabelInterner",
+    "DEFAULT_INTERNER",
+    "pack_twig",
+    "unpack_twig",
     "partitionable",
     "max_min_size",
+    "max_min_size_cached",
     "extract_partition",
     "extract_random_partition",
     "min_partitionable_size",

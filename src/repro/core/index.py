@@ -1,37 +1,62 @@
-"""The two-layer subgraph index of Section 3.4.
+"""The two-layer subgraph index of Section 3.4, on packed integer keys.
 
 The join keeps one :class:`TwoLayerIndex` per tree size ``n`` (the
-*inverted size index* ``I_n`` of Algorithm 1).  Within a size, subgraphs
-are grouped by
+*inverted size index* ``I_n`` of Algorithm 1).  Within a size, the two
+layers of the paper are materialized as:
 
-1. **postorder layer** — subgraph ``s_k`` (root postorder id ``p_k``,
-   rank ``k``) is filed under every integer key in
-   ``[p_k - Delta', p_k + Delta']``.  With ``postorder_filter="paper"``
-   ``Delta' = tau - floor(k / 2)`` (the paper's derivation);
-   with ``"safe"`` ``Delta' = tau``, which is provably sufficient because a
-   surviving node's general-tree postorder number shifts by at most one per
-   edit operation; ``"off"`` disables the layer.
-2. **label layer** — within a postorder group, subgraphs are keyed by their
-   topmost twig ``(label, left, right)`` with epsilon for missing /
-   non-member children.
+1. **label layer** — a flat dictionary keyed by the *packed twig key*
+   (:func:`repro.core.intern.pack_twig`): the subgraph root's
+   ``(label, left, right)`` interned label ids, epsilon (``0``) for
+   missing / non-member children, packed into one small integer.  One
+   int hash per lookup instead of a three-string tuple hash.
+2. **postorder layer** — inside each twig bucket, subgraphs are stored
+   *once* (not once per window key) as ``(postorder_id, half_width,
+   subgraph)`` entries kept sorted by ``postorder_id``.  A probe at
+   postorder number ``p`` bisects the bucket for the superset window
+   ``[p - tau, p + tau]`` and keeps entries with ``|p - p_k| <=
+   half_width`` — exactly the subgraphs the paper would have filed under
+   key ``p``.  With ``postorder_filter="paper"`` the half width is
+   ``Delta' = tau - floor(k / 2)`` (the published derivation); with
+   ``"safe"`` it is ``tau``, which is provably sufficient because a
+   surviving node's general-tree postorder number shifts by at most one
+   per edit operation; ``"off"`` disables the layer.
 
-A probe for node ``N`` (postorder number ``p``, label ``l``, binary
-children labels ``ll``/``lr``) inspects the single postorder group ``p``
-and, inside it, the at most four label keys ``(l,ll,lr)``, ``(l,ll,eps)``,
-``(l,eps,lr)``, ``(l,eps,eps)`` — the paper's four search keys.  The two
-layers are materialized as one flat dictionary keyed by
-``(postorder_key, twig)`` tuples.
+Storing each subgraph once — instead of under every integer key in
+``[p_k - Delta', p_k + Delta']`` — cuts index memory and insert work by a
+factor of ``2*tau + 1`` and makes the number of stored entries
+independent of ``tau`` (see :attr:`TwoLayerIndex.entry_count`).  Buckets
+sort lazily on first probe after an insert, so the alternating
+probe/insert pattern of Algorithm 1 pays one ``O(k log k)`` sort per
+touched bucket per tree, amortized, rather than ``O(k)`` shifting per
+insert.
+
+A probe for node ``N`` (postorder number ``p``, packed twig keys of the
+at most four search twigs ``(l,ll,lr)``, ``(l,ll,eps)``, ``(l,eps,lr)``,
+``(l,eps,eps)``) calls :meth:`TwoLayerIndex.probe_packed` with keys the
+caller computed *once per node* — the epsilon collapse of duplicate keys
+is a static property of the node's children, so the join hoists key
+construction out of its per-size loop (see ``partsj_join._probe_index``).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Iterator
+from bisect import bisect_left, bisect_right
+from operator import itemgetter
+from typing import Sequence
 
-from repro.core.subgraph import EPSILON, Subgraph
+from repro.core.intern import search_keys
+from repro.core.subgraph import Subgraph
 from repro.errors import InvalidParameterError
 
-__all__ = ["PostorderFilter", "TwoLayerIndex", "InvertedSizeIndex"]
+__all__ = [
+    "PostorderFilter",
+    "TwoLayerIndex",
+    "InvertedSizeIndex",
+    "probe_all_packed",
+]
+
+_entry_postorder = itemgetter(0)
 
 
 class PostorderFilter(enum.Enum):
@@ -53,20 +78,42 @@ class PostorderFilter(enum.Enum):
             ) from None
 
 
-# Sentinel postorder key used when the postorder layer is disabled.
-_ANY = -1
+class _TwigBucket:
+    """All subgraphs of one size sharing one packed twig key.
+
+    ``entries`` holds ``(postorder_id, half_width, subgraph)`` triples;
+    ``posts`` mirrors the postorder ids for bisection.  Inserts append
+    and mark the bucket dirty; the sort happens lazily on the next probe.
+    """
+
+    __slots__ = ("entries", "posts", "dirty")
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[int, int, Subgraph]] = []
+        self.posts: list[int] = []
+        self.dirty = False
+
+    def add(self, postorder_id: int, half: int, subgraph: Subgraph) -> None:
+        self.entries.append((postorder_id, half, subgraph))
+        self.dirty = True
+
+    def _ensure_sorted(self) -> None:
+        self.entries.sort(key=_entry_postorder)
+        self.posts = [entry[0] for entry in self.entries]
+        self.dirty = False
 
 
 class TwoLayerIndex:
     """Subgraph index for the trees of one fixed size."""
 
-    __slots__ = ("tau", "postorder_filter", "_groups", "count")
+    __slots__ = ("tau", "postorder_filter", "_buckets", "count", "entry_count")
 
     def __init__(self, tau: int, postorder_filter: PostorderFilter):
         self.tau = tau
         self.postorder_filter = postorder_filter
-        self._groups: dict[tuple[int, tuple[str, str, str]], list[Subgraph]] = {}
-        self.count = 0  # subgraphs inserted (not index entries)
+        self._buckets: dict[int, _TwigBucket] = {}
+        self.count = 0  # subgraphs inserted
+        self.entry_count = 0  # stored index entries (== count: one per subgraph)
 
     def window(self, subgraph: Subgraph) -> int:
         """The half-width ``Delta'`` of ``subgraph``'s postorder window."""
@@ -74,17 +121,29 @@ class TwoLayerIndex:
             return max(0, self.tau - subgraph.rank // 2)
         return self.tau  # SAFE; unused for OFF
 
-    def insert(self, subgraph: Subgraph) -> None:
-        """File ``subgraph`` under its postorder-window and twig keys."""
+    def insert(self, subgraph: Subgraph) -> _TwigBucket:
+        """File ``subgraph`` once under its packed twig key."""
         self.count += 1
-        twig = subgraph.twig
+        self.entry_count += 1
+        bucket = self._buckets.get(subgraph.twig_key)
+        if bucket is None:
+            bucket = self._buckets[subgraph.twig_key] = _TwigBucket()
         if self.postorder_filter is PostorderFilter.OFF:
-            self._groups.setdefault((_ANY, twig), []).append(subgraph)
-            return
-        half = self.window(subgraph)
-        pk = subgraph.postorder_id
-        for key in range(pk - half, pk + half + 1):
-            self._groups.setdefault((key, twig), []).append(subgraph)
+            bucket.add(subgraph.postorder_id, 0, subgraph)
+        else:
+            bucket.add(subgraph.postorder_id, self.window(subgraph), subgraph)
+        return bucket
+
+    def probe_packed(
+        self, postorder_number: int, twig_keys: Sequence[int]
+    ) -> list[Subgraph]:
+        """Subgraphs that may match a node probing with these twig keys.
+
+        ``twig_keys`` must be duplicate-free (the caller collapses epsilon
+        variants once per node); each stored subgraph has exactly one twig
+        key, so the result carries no duplicates.
+        """
+        return probe_all_packed((self,), postorder_number, twig_keys)
 
     def probe(
         self,
@@ -92,39 +151,102 @@ class TwoLayerIndex:
         label: str,
         left_label: str,
         right_label: str,
-    ) -> Iterator[Subgraph]:
-        """Subgraphs that may match a node with this position and twig.
+    ) -> list[Subgraph]:
+        """String-label probe (compat wrapper over :meth:`probe_packed`).
 
-        Each stored subgraph is filed under exactly one twig key per
-        postorder key, so the iteration yields no duplicates.
+        Labels are resolved against the interner of the inserted
+        subgraphs; a label the interner has never seen cannot match.
         """
-        if self.postorder_filter is PostorderFilter.OFF:
-            position = _ANY
-        else:
-            position = postorder_number
-        groups = self._groups
-        seen_keys = set()
-        for twig in (
-            (label, left_label, right_label),
-            (label, left_label, EPSILON),
-            (label, EPSILON, right_label),
-            (label, EPSILON, EPSILON),
-        ):
-            if twig in seen_keys:
-                continue  # collapses when the node lacks a child
-            seen_keys.add(twig)
-            bucket = groups.get((position, twig))
-            if bucket:
-                yield from bucket
+        # Resolve the interner through any stored subgraph: every insert
+        # carries its container cache, and caches share the collection
+        # interner.
+        interner = None
+        for bucket in self._buckets.values():
+            if bucket.entries:
+                interner = bucket.entries[0][2].cache.interner
+                break
+        if interner is None:
+            return []
+        lab = interner.get(label)
+        if lab is None:
+            return []
+        # The paper's four search twigs with the epsilon collapse; an
+        # un-interned child label can only ever match as epsilon.
+        keys = search_keys(
+            lab, interner.get(left_label) or 0, interner.get(right_label) or 0
+        )
+        return self.probe_packed(postorder_number, keys)
 
     def __len__(self) -> int:
         return self.count
 
 
-class InvertedSizeIndex:
-    """``I``: one :class:`TwoLayerIndex` per tree size, built on the fly."""
+def probe_all_packed(
+    indexes: Sequence[TwoLayerIndex],
+    postorder_number: int,
+    twig_keys: Sequence[int],
+) -> list[Subgraph]:
+    """Probe several same-``tau`` per-size indexes with one set of keys.
 
-    __slots__ = ("tau", "postorder_filter", "_by_size")
+    The probe loop of Algorithm 1 visits every size in ``[n - tau, n]``
+    for every node; this batches those lookups into a single call per
+    node so the (mostly empty) per-size results cost one dict probe each
+    instead of a Python call and a list allocation.  All ``indexes`` must
+    share ``tau`` and ``postorder_filter`` (they come from one
+    :class:`InvertedSizeIndex`).
+    """
+    hits: list[Subgraph] = []
+    if not indexes:
+        return hits
+    first = indexes[0]
+    if first.postorder_filter is PostorderFilter.OFF:
+        for index in indexes:
+            buckets = index._buckets
+            for key in twig_keys:
+                bucket = buckets.get(key)
+                if bucket is not None:
+                    hits.extend(entry[2] for entry in bucket.entries)
+        return hits
+    tau = first.tau
+    lo = postorder_number - tau
+    hi = postorder_number + tau
+    safe = first.postorder_filter is PostorderFilter.SAFE
+    for index in indexes:
+        buckets = index._buckets
+        for key in twig_keys:
+            bucket = buckets.get(key)
+            if bucket is None:
+                continue
+            if bucket.dirty:
+                bucket._ensure_sorted()
+            posts = bucket.posts
+            start = bisect_left(posts, lo)
+            stop = bisect_right(posts, hi, start)
+            if start == stop:
+                continue
+            entries = bucket.entries
+            if safe:
+                # half == tau for every entry: the bisect is the filter.
+                hits.extend(entries[k][2] for k in range(start, stop))
+            else:
+                for k in range(start, stop):
+                    pk, half, subgraph = entries[k]
+                    if -half <= postorder_number - pk <= half:
+                        hits.append(subgraph)
+    return hits
+
+
+class InvertedSizeIndex:
+    """``I``: one :class:`TwoLayerIndex` per tree size, built on the fly.
+
+    Besides the per-size indexes, a *merged* view ``twig_key -> {size:
+    bucket}`` is maintained (sharing the same bucket objects, so it costs
+    one pointer per bucket, not a copy).  The probe loop visits ``tau + 1``
+    sizes per node and most twig keys hit nothing; the merged view
+    collapses those misses into a single dictionary probe per key.
+    """
+
+    __slots__ = ("tau", "postorder_filter", "_by_size", "merged")
 
     def __init__(self, tau: int, postorder_filter: PostorderFilter | str = "safe"):
         if tau < 0:
@@ -132,6 +254,7 @@ class InvertedSizeIndex:
         self.tau = tau
         self.postorder_filter = PostorderFilter.coerce(postorder_filter)
         self._by_size: dict[int, TwoLayerIndex] = {}
+        self.merged: dict[int, dict[int, _TwigBucket]] = {}
 
     def for_size(self, size: int, create: bool = False) -> TwoLayerIndex | None:
         """The per-size index, optionally creating it."""
@@ -142,15 +265,33 @@ class InvertedSizeIndex:
         return index
 
     def insert_all(self, size: int, subgraphs: list[Subgraph]) -> None:
-        """Insert a tree's partition into its size's index."""
+        """Insert a tree's partition into its size's index.
+
+        Delegates to :meth:`TwoLayerIndex.insert` (the one owner of the
+        half-width logic) and files the returned bucket in the merged
+        view.
+        """
         index = self.for_size(size, create=True)
         assert index is not None
+        insert = index.insert
+        merged = self.merged
         for subgraph in subgraphs:
-            index.insert(subgraph)
+            bucket = insert(subgraph)
+            key = subgraph.twig_key
+            by_size = merged.get(key)
+            if by_size is None:
+                merged[key] = {size: bucket}
+            else:
+                by_size[size] = bucket  # idempotent: same shared bucket
 
     @property
     def total_subgraphs(self) -> int:
         return sum(index.count for index in self._by_size.values())
+
+    @property
+    def total_entries(self) -> int:
+        """Stored index entries across sizes — one per subgraph, tau-free."""
+        return sum(index.entry_count for index in self._by_size.values())
 
     def sizes(self) -> list[int]:
         """Sizes that currently have a non-empty index."""

@@ -1,0 +1,154 @@
+"""Collection-wide label interning and packed integer twig keys.
+
+The candidate-generation hot path (probe/insert of Algorithm 1) never
+compares label *strings*: every label is interned once into a small
+integer id, and the two-layer index keys on a single packed integer per
+twig instead of a ``(str, str, str)`` tuple.  Integer equality and
+integer hashing are both several times cheaper than tuple-of-string
+hashing, and the ids double as direct indices into per-tree flat arrays
+(:mod:`repro.core.treecache`).
+
+Layout
+------
+- Id ``0`` is reserved for :data:`EPSILON` (the dummy label of a missing
+  or non-member binary child, ``""``), so a twig id of zero always means
+  "no edge / bridging edge" without a lookup.
+- Ids are assigned densely in first-seen order and never exceed
+  ``MAX_LABEL_ID`` (21 bits), which lets a whole twig ``(label, left,
+  right)`` pack into one 63-bit integer via :func:`pack_twig` — a single
+  small-int dict key on 64-bit CPython.
+
+A process-wide :data:`DEFAULT_INTERNER` is shared by every
+:class:`~repro.core.treecache.TreeCache` unless an explicit interner is
+passed, so caches built independently (tests, the similarity searcher,
+multiple joins in one process) always agree on ids.  The mapping is
+append-only and tiny (one entry per distinct label ever seen), so the
+shared default is safe.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "EPSILON",
+    "EPSILON_ID",
+    "MAX_LABEL_ID",
+    "TWIG_LABEL_SHIFT",
+    "TWIG_LEFT_SHIFT",
+    "LabelInterner",
+    "DEFAULT_INTERNER",
+    "pack_twig",
+    "unpack_twig",
+    "search_keys",
+]
+
+EPSILON = ""  # dummy label for a missing/non-member binary child
+EPSILON_ID = 0  # its interned id, reserved in every interner
+
+_LABEL_BITS = 21
+MAX_LABEL_ID = (1 << _LABEL_BITS) - 1  # 2_097_151 distinct labels
+
+# Bit positions of the twig components inside a packed key.  The probe
+# loops (join/search) hoist these into locals and build keys with inline
+# shifts — import them from here so the layout has one source of truth.
+TWIG_LABEL_SHIFT = 2 * _LABEL_BITS
+TWIG_LEFT_SHIFT = _LABEL_BITS
+
+
+class LabelInterner:
+    """Append-only bijection between label strings and dense small ints.
+
+    >>> interner = LabelInterner()
+    >>> interner.intern("a"), interner.intern("b"), interner.intern("a")
+    (1, 2, 1)
+    >>> interner.label(2)
+    'b'
+    """
+
+    __slots__ = ("_ids", "_labels", "get")
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {EPSILON: EPSILON_ID}
+        self._labels: list[str] = [EPSILON]
+        # The id of a label if already interned, else None.  Bound directly
+        # to the table's own ``get`` so the per-node hot loops skip a
+        # Python-level call frame.
+        self.get = self._ids.get
+
+    def intern(self, label: str) -> int:
+        """The id of ``label``, assigning the next free id on first sight."""
+        ids = self._ids
+        lid = ids.get(label)
+        if lid is None:
+            lid = len(self._labels)
+            if lid > MAX_LABEL_ID:
+                raise InvalidParameterError(
+                    f"label interner overflow: more than {MAX_LABEL_ID} "
+                    "distinct labels in one collection"
+                )
+            ids[label] = lid
+            self._labels.append(label)
+        return lid
+
+    def label(self, lid: int) -> str:
+        """Inverse of :meth:`intern` (raises ``IndexError`` for unknown ids)."""
+        return self._labels[lid]
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._ids
+
+
+#: Shared by every :class:`TreeCache` built without an explicit interner.
+DEFAULT_INTERNER = LabelInterner()
+
+
+def pack_twig(label_id: int, left_id: int, right_id: int) -> int:
+    """Pack a twig ``(label, left, right)`` of interned ids into one int.
+
+    The layout is ``label << 42 | left << 21 | right`` with 21 bits per
+    component; ids are guaranteed to fit by :meth:`LabelInterner.intern`.
+    The packed value is what the two-layer index hashes — one small-int
+    key instead of a three-string tuple.
+
+    >>> unpack_twig(pack_twig(5, 0, 7))
+    (5, 0, 7)
+    """
+    return (label_id << TWIG_LABEL_SHIFT) | (left_id << TWIG_LEFT_SHIFT) | right_id
+
+
+def unpack_twig(key: int) -> tuple[int, int, int]:
+    """Inverse of :func:`pack_twig`."""
+    return (
+        (key >> TWIG_LABEL_SHIFT) & MAX_LABEL_ID,
+        (key >> TWIG_LEFT_SHIFT) & MAX_LABEL_ID,
+        key & MAX_LABEL_ID,
+    )
+
+
+def search_keys(label: int, left: int, right: int) -> tuple[int, ...]:
+    """The paper's at-most-four probe keys for a node twig, deduplicated.
+
+    A probe node searches its full twig plus the variants with either or
+    both children replaced by epsilon; with a missing child (id 0) the
+    epsilon variant coincides, so only the distinct packed keys survive.
+    The join's innermost loop inlines this construction for speed
+    (``partsj_join._probe_index``) — keep the two in sync.
+
+    >>> [unpack_twig(k) for k in search_keys(3, 1, 2)]
+    [(3, 1, 2), (3, 1, 0), (3, 0, 2), (3, 0, 0)]
+    >>> [unpack_twig(k) for k in search_keys(3, 0, 2)]
+    [(3, 0, 2), (3, 0, 0)]
+    """
+    full_key = (label << TWIG_LABEL_SHIFT) | (left << TWIG_LEFT_SHIFT) | right
+    bare_key = label << TWIG_LABEL_SHIFT
+    if left:
+        if right:
+            return (full_key, full_key - right, bare_key | right, bare_key)
+        return (full_key, bare_key)
+    if right:
+        return (full_key, bare_key)
+    return (full_key,)

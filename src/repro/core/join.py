@@ -4,13 +4,21 @@ Processing trees in ascending size order, each tree ``Ti``:
 
 1. **Probe phase** — for every node ``N`` of ``Ti``'s binary representation
    and every size ``n`` in ``[|Ti| - tau, |Ti|]``, the two-layer index
-   ``I_n`` is probed with ``N``'s postorder number and twig labels.  Every
-   returned subgraph ``s`` is structurally matched at ``N``; a successful
-   match makes ``(Ti, owner(s))`` a candidate (checked at most once per
-   pair), verified with exact TED.
+   ``I_n`` is probed with ``N``'s postorder number and packed twig keys.
+   The at most four search keys are computed *once per node* (the epsilon
+   collapse is a static property of the node's children) and reused for
+   every probed size.  Every returned subgraph ``s`` is structurally
+   matched at ``N`` by an integer-array walk; a successful match makes
+   ``(Ti, owner(s))`` a candidate (checked at most once per pair),
+   verified with exact TED.
 2. **Insert phase** — ``Ti`` is partitioned into ``delta = 2*tau + 1``
    subgraphs maximizing the minimum subgraph size, which are inserted into
-   ``I_{|Ti|}``.
+   ``I_{|Ti|}`` (one index entry per subgraph).
+
+The two phases are timed separately as ``JoinStats.probe_time`` and
+``JoinStats.index_time``; ``candidate_time`` remains their sum, so the
+paper's two-segment figures are unchanged while the breakdown is
+available to the benchmark harness and the CLI.
 
 Trees smaller than ``2*tau + 1`` nodes cannot be partitioned into ``delta``
 non-empty subgraphs, and for them Lemma 2 gives no guarantee (every
@@ -28,7 +36,8 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.baselines.common import (
@@ -40,13 +49,14 @@ from repro.baselines.common import (
     check_join_inputs,
 )
 from repro.core.index import InvertedSizeIndex, PostorderFilter
+from repro.core.intern import TWIG_LABEL_SHIFT, TWIG_LEFT_SHIFT, LabelInterner
 from repro.core.partition import (
     extract_partition,
     extract_random_partition,
-    max_min_size,
+    max_min_size_cached,
     min_partitionable_size,
 )
-from repro.core.subgraph import EPSILON, MatchSemantics
+from repro.core.subgraph import MatchSemantics
 from repro.core.treecache import TreeCache
 from repro.errors import InvalidParameterError
 from repro.tree.node import Tree
@@ -174,6 +184,9 @@ def partsj_join(
     collection = SizeSortedCollection(trees)
     verifier = Verifier(trees, tau)
     index = InvertedSizeIndex(tau, cfg.postorder_filter)
+    # One interner per join: all caches (probe and stored sides) share it,
+    # and the packed-key label budget is per collection, not per process.
+    interner = LabelInterner()
     rng = random.Random(cfg.seed)
 
     delta = 2 * tau + 1
@@ -181,6 +194,7 @@ def partsj_join(
     small_pool: list[tuple[int, int]] = []  # (original index, size)
     checked: set[tuple[int, int]] = set()
     pairs: list[JoinPair] = []
+    gamma_hint: Optional[int] = None  # warm-start: near-duplicates share gamma
 
     for position in range(len(collection)):
         i = collection.original_index(position)
@@ -191,7 +205,7 @@ def partsj_join(
         candidates: list[int] = []  # original indices j to verify against i
 
         if n >= min_size:
-            cache = TreeCache(tree)
+            cache = TreeCache(tree, interner)
             _probe_index(
                 index, cache, i, n, tau, min_size, semantics, checked,
                 candidates, counters, cfg.postorder_numbering,
@@ -210,7 +224,7 @@ def partsj_join(
                         checked.add(key)
                         counters.small_pool_pairs += 1
                         candidates.append(j)
-        stats.candidate_time += time.perf_counter() - start
+        stats.probe_time += time.perf_counter() - start
 
         # Verification (the "TED computation" phase of Figures 10/12/14).
         stats.candidates += len(candidates)
@@ -229,9 +243,10 @@ def partsj_join(
                 )
                 counters.gamma_total += min(sub.size for sub in subgraphs)
             else:
-                gamma = max_min_size(cache.binary, delta)
+                gamma = max_min_size_cached(cache, delta, hint=gamma_hint)
+                gamma_hint = gamma
                 subgraphs = extract_partition(
-                    cache, i, delta, gamma, cfg.postorder_numbering
+                    cache, i, delta, gamma, cfg.postorder_numbering, check=False
                 )
                 counters.gamma_total += gamma
             index.insert_all(n, subgraphs)
@@ -239,14 +254,16 @@ def partsj_join(
             counters.subgraphs_built += len(subgraphs)
         else:
             small_pool.append((i, n))
-        stats.candidate_time += time.perf_counter() - start
+        stats.index_time += time.perf_counter() - start
 
+    stats.candidate_time = stats.probe_time + stats.index_time
     stats.ted_calls = verifier.stats_ted_calls
     stats.verify_time = verifier.stats_time
     stats.results = len(pairs)
     stats.pairs_considered = counters.probe_hits + counters.small_pool_pairs
     stats.extra = counters.as_dict()
     stats.extra["total_indexed_subgraphs"] = index.total_subgraphs
+    stats.extra["total_index_entries"] = index.total_entries
     stats.extra.update(verifier.extra_stats())
     pairs.sort(key=lambda p: p.key())
     return JoinResult(pairs=pairs, stats=stats)
@@ -265,32 +282,99 @@ def _probe_index(
     counters: _ProbeCounters,
     numbering: str,
 ) -> None:
-    """Algorithm 1 lines 5-12: gather candidate partners for tree ``i``."""
-    per_size = [
-        index.for_size(size)
+    """Algorithm 1 lines 5-12: gather candidate partners for tree ``i``.
+
+    The loop never touches node objects: labels, children and postorder
+    numbers are read from the cache's flat arrays, and the packed twig
+    search keys are built once per node, outside the per-size loop.
+    """
+    sizes = [
+        size
         for size in range(max(min_size, n - tau), n + 1)
+        if (size_index := index.for_size(size)) is not None and size_index.count
     ]
-    per_size = [idx for idx in per_size if idx is not None and idx.count]
-    if not per_size:
+    if not sizes:
         return
-    number_of = (
-        cache.general_postorder if numbering == "general" else cache.binary_number
-    )
-    for node in cache.binary_postorder:
-        p = number_of(node)
-        label = node.label
-        left_label = node.left.label if node.left is not None else EPSILON
-        right_label = node.right.label if node.right is not None else EPSILON
-        for size_index in per_size:
-            for subgraph in size_index.probe(p, label, left_label, right_label):
-                counters.probe_hits += 1
-                j = subgraph.owner
-                key = (j, i) if j < i else (i, j)
-                if key in checked:
-                    counters.dedup_skips += 1
+    # The merged twig view is frozen while this tree probes (inserts happen
+    # strictly after), so the bucket lookups and window bisects are inlined
+    # here — the loop body is nothing but int arithmetic, dict gets and
+    # list indexing.  A twig key absent from every probed size costs one
+    # dict probe total, not one per size.
+    merged = index.merged
+    mode = index.postorder_filter
+    off = mode is PostorderFilter.OFF
+    strict_window = mode is PostorderFilter.PAPER
+    labels = cache.labels
+    left = cache.left
+    right = cache.right
+    positions = cache.general_post if numbering == "general" else range(n + 1)
+    strict = semantics is MatchSemantics.PAPER
+    label_shift = TWIG_LABEL_SHIFT
+    left_shift = TWIG_LEFT_SHIFT
+    probe_hits = 0
+    match_tests = 0
+    match_hits = 0
+    dedup_skips = 0
+    for b in range(1, n + 1):
+        p = positions[b]
+        label = labels[b]
+        child = left[b]
+        ll = labels[child] if child else 0
+        child = right[b]
+        rl = labels[child] if child else 0
+        # The paper's four search keys (pack_twig layout, inlined),
+        # deduplicated once per node: with a missing child the epsilon
+        # variant coincides, so only the distinct packed keys survive.
+        # (lab,ll,0) == full_key - rl, etc.
+        full_key = (label << label_shift) | (ll << left_shift) | rl
+        bare_key = label << label_shift
+        if ll:
+            if rl:
+                twig_keys = (full_key, full_key - rl, bare_key | rl, bare_key)
+            else:
+                twig_keys = (full_key, bare_key)
+        elif rl:
+            twig_keys = (full_key, bare_key)
+        else:
+            twig_keys = (full_key,)
+        lo = p - tau
+        hi = p + tau
+        for twig_key in twig_keys:
+            by_size = merged.get(twig_key)
+            if by_size is None:
+                continue
+            for size in sizes:
+                bucket = by_size.get(size)
+                if bucket is None:
                     continue
-                counters.match_tests += 1
-                if subgraph.matches_at(node, semantics):
-                    counters.match_hits += 1
-                    checked.add(key)
-                    candidates.append(j)
+                entries = bucket.entries
+                if off:
+                    start = 0
+                    stop = len(entries)
+                else:
+                    if bucket.dirty:
+                        bucket._ensure_sorted()
+                    posts = bucket.posts
+                    start = bisect_left(posts, lo)
+                    stop = bisect_right(posts, hi, start)
+                    if start == stop:
+                        continue
+                for k in range(start, stop):
+                    pk, half, subgraph = entries[k]
+                    if strict_window and not -half <= p - pk <= half:
+                        continue
+                    probe_hits += 1
+                    j = subgraph.owner
+                    key = (j, i) if j < i else (i, j)
+                    if key in checked:
+                        dedup_skips += 1
+                        continue
+                    match_tests += 1
+                    if subgraph.matches_at_number(cache, b, strict):
+                        match_hits += 1
+                        checked.add(key)
+                        candidates.append(j)
+    counters.probe_hits += probe_hits
+    counters.match_tests += match_tests
+    counters.match_hits += match_hits
+    counters.dedup_skips += dedup_skips

@@ -2,9 +2,15 @@
 
 A :class:`Subgraph` is one component of a delta-partitioning of an LC-RS
 binary tree (paper Definition 1): a connected set of binary nodes plus the
-*bridging edges* that connect it to the rest of the tree.  For matching
-(paper Section 3.2, "s matches the subtree rooted at node N of Ti"), each
-node slot of the subgraph falls into one of three cases:
+*bridging edges* that connect it to the rest of the tree.  The subgraph is
+stored *flat*: its root is a binary postorder number into the container's
+:class:`~repro.core.treecache.TreeCache` arrays, and its member set is a
+``bytearray`` bitmap indexed by binary postorder number — matching and
+membership tests are pure integer-array walks, no node objects and no
+``frozenset`` hashing.
+
+For matching (paper Section 3.2, "s matches the subtree rooted at node N
+of Ti"), each node slot of the subgraph falls into one of three cases:
 
 - a **member edge** — the child is part of the subgraph: the probed tree
   must have a matching child there (recursively);
@@ -38,9 +44,9 @@ reports it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
+from repro.core.intern import EPSILON, pack_twig
 from repro.tree.binary import BinaryNode, EdgeKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -48,7 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 
 __all__ = ["Subgraph", "MatchSemantics", "EPSILON"]
 
-EPSILON = ""  # dummy label for a missing/non-member binary child
+_EDGE_KIND_OF_CODE = (EdgeKind.ROOT, EdgeKind.LEFT, EdgeKind.RIGHT)
 
 
 class MatchSemantics(enum.Enum):
@@ -69,7 +75,6 @@ class MatchSemantics(enum.Enum):
             ) from None
 
 
-@dataclass
 class Subgraph:
     """One component of a delta-partitioning of a container tree.
 
@@ -77,65 +82,161 @@ class Subgraph:
     ----------
     owner:
         Index of the container tree in the joined collection.
-    root:
-        The subgraph's root node inside the container's binary tree.
-    members:
-        Binary postorder numbers (container tree numbering) of the nodes in
-        this subgraph.
+    cache:
+        The container tree's :class:`TreeCache` (arrays + interner).
+    root_number:
+        Binary postorder number of the subgraph root in the container.
+    member_bits:
+        Bitmap over binary postorder numbers (1-based; ``member_bits[b]``
+        truthy iff node ``b`` belongs to this subgraph).
     rank:
         1-based rank ``k`` of this subgraph when the partition is ordered by
         ascending ``postorder_id`` (the paper's ``s_1 .. s_delta``).
     postorder_id:
-        ``p_k``: the general-tree postorder number of the subgraph root in
-        the container tree.
-    incoming:
-        Category of the root's incoming (bridging) edge.
-    cache:
-        The container tree's :class:`TreeCache` (for membership tests).
+        ``p_k``: the configured postorder number of the subgraph root in
+        the container tree (general-tree postorder by default).
+    size:
+        Number of member nodes.
+    twig_ids:
+        The root twig ``(label, left, right)`` as interned ids, epsilon
+        (``0``) for missing / non-member children.
+    twig_key:
+        :func:`repro.core.intern.pack_twig` of :attr:`twig_ids` — the
+        integer the two-layer index files this subgraph under.
+    incoming_code:
+        Incoming-edge category of the root: 0 root, 1 left, 2 right.
     """
 
-    owner: int
-    root: BinaryNode
-    members: frozenset[int]
-    rank: int
-    postorder_id: int
-    incoming: EdgeKind
-    cache: "TreeCache"
-    twig: tuple[str, str, str] = field(init=False)
+    __slots__ = (
+        "owner",
+        "cache",
+        "root_number",
+        "member_bits",
+        "rank",
+        "postorder_id",
+        "size",
+        "twig_ids",
+        "twig_key",
+        "incoming_code",
+        "_members",
+    )
 
-    def __post_init__(self) -> None:
-        self.twig = (
-            self.root.label,
-            self._member_label(self.root.left),
-            self._member_label(self.root.right),
-        )
+    def __init__(
+        self,
+        owner: int,
+        cache: "TreeCache",
+        root_number: int,
+        member_bits: bytearray,
+        rank: int,
+        postorder_id: int,
+    ):
+        self.owner = owner
+        self.cache = cache
+        self.root_number = root_number
+        self.member_bits = member_bits
+        self.rank = rank
+        self.postorder_id = postorder_id
+        self.size = member_bits.count(1)
+        labels = cache.labels
+        l = cache.left[root_number]
+        r = cache.right[root_number]
+        left_id = labels[l] if l and member_bits[l] else 0
+        right_id = labels[r] if r and member_bits[r] else 0
+        self.twig_ids = (labels[root_number], left_id, right_id)
+        self.twig_key = pack_twig(labels[root_number], left_id, right_id)
+        self.incoming_code = cache.incoming_code(root_number)
+        self._members: Optional[frozenset[int]] = None
 
-    def _member_label(self, child: BinaryNode | None) -> str:
-        """Label for the twig key: epsilon for missing or non-member children."""
-        if child is None:
-            return EPSILON
-        if self.cache.binary_number(child) not in self.members:
-            return EPSILON  # dangling bridging edge: not part of the twig
-        return child.label
+    # -- compatibility views -------------------------------------------------
 
     @property
-    def size(self) -> int:
-        """Number of member nodes."""
-        return len(self.members)
+    def root(self) -> BinaryNode:
+        """The root as a node object (compat; materializes the node layer)."""
+        return self.cache.node_at_binary_number(self.root_number)
+
+    @property
+    def members(self) -> frozenset[int]:
+        """Member binary postorder numbers as a frozenset (compat view)."""
+        cached = self._members
+        if cached is None:
+            bits = self.member_bits
+            cached = frozenset(b for b in range(1, len(bits)) if bits[b])
+            self._members = cached
+        return cached
+
+    @property
+    def incoming(self) -> EdgeKind:
+        """Category of the root's incoming (bridging) edge."""
+        return _EDGE_KIND_OF_CODE[self.incoming_code]
+
+    @property
+    def twig(self) -> tuple[str, str, str]:
+        """The root twig as label strings (compat; epsilon = ``""``)."""
+        label = self.cache.interner.label
+        a, b, c = self.twig_ids
+        return (label(a), label(b), label(c))
 
     def is_member(self, node: BinaryNode) -> bool:
         """True when ``node`` (of the container tree) is in this subgraph."""
-        return self.cache.binary_number(node) in self.members
+        return bool(self.member_bits[self.cache.binary_number(node)])
 
     # -- matching ------------------------------------------------------------
+
+    def matches_at_number(
+        self, probe_cache: "TreeCache", probe_number: int, strict: bool
+    ) -> bool:
+        """Does this subgraph occur at node ``probe_number`` of ``probe_cache``?
+
+        The hot-path matcher: both trees are walked through their flat
+        arrays with an explicit integer stack.  Labels compare as interned
+        ids, so both caches must share an interner (always true for caches
+        built with the default).  ``strict`` selects PAPER semantics
+        (dangling edges must exist, empty slots must be empty, incoming
+        categories must agree).
+        """
+        if strict and probe_cache.incoming_code(probe_number) != self.incoming_code:
+            return False
+        my_labels = self.cache.labels
+        my_left = self.cache.left
+        my_right = self.cache.right
+        labels = probe_cache.labels
+        left = probe_cache.left
+        right = probe_cache.right
+        bits = self.member_bits
+        stack = [self.root_number, probe_number]
+        pop = stack.pop
+        while stack:
+            theirs = pop()
+            mine = pop()
+            if my_labels[mine] != labels[theirs]:
+                return False
+            child = my_left[mine]
+            other = left[theirs]
+            if child and bits[child]:
+                if not other:
+                    return False
+                stack.append(child)
+                stack.append(other)
+            elif strict and (other if not child else not other):
+                # Empty slot filled, or dangling bridging edge missing.
+                return False
+            child = my_right[mine]
+            other = right[theirs]
+            if child and bits[child]:
+                if not other:
+                    return False
+                stack.append(child)
+                stack.append(other)
+            elif strict and (other if not child else not other):
+                return False
+        return True
 
     def matches_at(self, node: BinaryNode, semantics: MatchSemantics) -> bool:
         """Does this subgraph occur at ``node`` of a probe tree?
 
-        ``node`` belongs to some *other* tree's binary representation.  The
-        walk compares labels over member edges; PAPER semantics additionally
-        require dangling edges to exist, empty slots to be empty, and the
-        incoming-edge category of the root to agree.
+        Compatibility matcher over node objects (``node`` belongs to some
+        *other* tree's binary representation, not necessarily cache-backed).
+        The join's probe loop uses :meth:`matches_at_number` instead.
         """
         strict = semantics is MatchSemantics.PAPER
         if strict and node.incoming is not self.incoming:

@@ -21,14 +21,15 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.baselines.common import Verifier
-from repro.core.index import InvertedSizeIndex, PostorderFilter
+from repro.core.index import InvertedSizeIndex, probe_all_packed
+from repro.core.intern import LabelInterner, search_keys
 from repro.core.join import PartSJConfig
 from repro.core.partition import (
     extract_partition,
-    max_min_size,
+    max_min_size_cached,
     min_partitionable_size,
 )
-from repro.core.subgraph import EPSILON, MatchSemantics
+from repro.core.subgraph import MatchSemantics
 from repro.core.treecache import TreeCache
 from repro.errors import InvalidParameterError
 from repro.tree.node import Tree
@@ -74,13 +75,19 @@ class SimilaritySearcher:
         self._sizes_sorted: list[tuple[int, int]] = sorted(
             (tree.size, i) for i, tree in enumerate(trees)
         )
+        # One interner per searcher bounds the packed-key label budget to
+        # this collection; queries intern into the same table.
+        self._interner = LabelInterner()
         delta = 2 * tau + 1
+        gamma_hint = None  # warm-start: near-duplicate trees share gamma
         for i, tree in enumerate(trees):
             if tree.size >= self._min_size:
-                cache = TreeCache(tree)
-                gamma = max_min_size(cache.binary, delta)
+                cache = TreeCache(tree, interner=self._interner)
+                gamma = max_min_size_cached(cache, delta, hint=gamma_hint)
+                gamma_hint = gamma
                 subgraphs = extract_partition(
-                    cache, i, delta, gamma, self.config.postorder_numbering
+                    cache, i, delta, gamma, self.config.postorder_numbering,
+                    check=False,
                 )
                 self._index.insert_all(tree.size, subgraphs)
             else:
@@ -98,7 +105,7 @@ class SimilaritySearcher:
         semantics: MatchSemantics = self.config.semantics  # type: ignore[assignment]
         candidates: set[int] = set()
 
-        cache = TreeCache(query)
+        cache = TreeCache(query, interner=self._interner)
         n = cache.size
         # Indexed candidates: collection trees small enough that their
         # partition must leave a subgraph inside the query (|Tj| <= |query|).
@@ -108,21 +115,22 @@ class SimilaritySearcher:
         ]
         probe_sizes = [idx for idx in probe_sizes if idx is not None and idx.count]
         if probe_sizes:
-            number_of = (
-                cache.general_postorder
-                if self.config.postorder_numbering == "general"
-                else cache.binary_number
-            )
-            for node in cache.binary_postorder:
-                p = number_of(node)
-                left = node.left.label if node.left is not None else EPSILON
-                right = node.right.label if node.right is not None else EPSILON
-                for size_index in probe_sizes:
-                    for subgraph in size_index.probe(p, node.label, left, right):
-                        if subgraph.owner in candidates:
-                            continue
-                        if subgraph.matches_at(node, semantics):
-                            candidates.add(subgraph.owner)
+            labels, left, right = cache.labels, cache.left, cache.right
+            general = self.config.postorder_numbering == "general"
+            general_post = cache.general_post
+            strict = semantics is MatchSemantics.PAPER
+            for b in range(1, n + 1):
+                p = general_post[b] if general else b
+                child = left[b]
+                ll = labels[child] if child else 0
+                child = right[b]
+                rl = labels[child] if child else 0
+                twig_keys = search_keys(labels[b], ll, rl)
+                for subgraph in probe_all_packed(probe_sizes, p, twig_keys):
+                    if subgraph.owner in candidates:
+                        continue
+                    if subgraph.matches_at_number(cache, b, strict):
+                        candidates.add(subgraph.owner)
         # Collection trees larger than the query (or too small to partition)
         # cannot be pruned by the query-side probe: verify them directly.
         for i in self._size_window(n):

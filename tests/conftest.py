@@ -3,9 +3,18 @@
 from __future__ import annotations
 
 import random
+import sys
+from pathlib import Path
 
 import pytest
 from hypothesis import strategies as st
+
+# The flat-array equivalence tests import the frozen PR-1 reference engine
+# from benchmarks/_legacy_candidates.py; make the repo root importable no
+# matter where pytest was started from.
+_REPO_ROOT = str(Path(__file__).resolve().parent.parent)
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
 
 from repro.tree.edits import random_script
 from repro.tree.node import Tree, TreeNode

@@ -106,6 +106,37 @@ class TestInsertProbe:
             assert sub in hits
 
 
+class TestEntryCountIndependentOfTau:
+    def test_one_entry_per_subgraph_regardless_of_tau(self, rng):
+        # PR 1 filed each subgraph under 2*tau+1 duplicated postorder keys;
+        # the packed-key index stores it once and resolves the window at
+        # probe time, so stored entries must not grow with tau.
+        tree = make_random_tree(rng, 40)
+        cache = TreeCache(tree)
+        entry_counts = []
+        for tau in (1, 2, 3, 5):
+            delta = 2 * tau + 1
+            index = InvertedSizeIndex(tau, postorder_filter="safe")
+            index.insert_all(40, extract_partition(cache, owner=0, delta=delta))
+            assert index.total_entries == index.total_subgraphs == delta
+            per_size = index.for_size(40)
+            assert per_size is not None
+            assert per_size.entry_count == per_size.count == delta
+            entry_counts.append(index.total_entries / delta)
+        # Normalized per-subgraph storage is exactly 1 for every tau.
+        assert entry_counts == [1.0] * len(entry_counts)
+
+    def test_entry_count_matches_inserts_across_filters(self, rng):
+        tau = 2
+        cache, subs = build_subgraphs(rng, 25, 2 * tau + 1)
+        for pfilter in (PostorderFilter.SAFE, PostorderFilter.PAPER,
+                        PostorderFilter.OFF):
+            index = TwoLayerIndex(tau, pfilter)
+            for sub in subs:
+                index.insert(sub)
+            assert index.entry_count == index.count == len(subs)
+
+
 class TestInvertedSizeIndex:
     def test_per_size_isolation(self, rng):
         index = InvertedSizeIndex(tau=1, postorder_filter="safe")

@@ -1,0 +1,117 @@
+"""Tests for label interning and packed twig keys (repro.core.intern)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intern import (
+    DEFAULT_INTERNER,
+    EPSILON,
+    EPSILON_ID,
+    MAX_LABEL_ID,
+    LabelInterner,
+    pack_twig,
+    unpack_twig,
+)
+from repro.core.treecache import TreeCache
+from repro.tree.node import Tree
+
+
+class TestLabelInterner:
+    def test_epsilon_is_id_zero(self):
+        interner = LabelInterner()
+        assert interner.intern(EPSILON) == EPSILON_ID
+        assert interner.label(EPSILON_ID) == EPSILON
+        assert len(interner) == 1
+
+    def test_ids_are_dense_and_stable(self):
+        interner = LabelInterner()
+        a = interner.intern("a")
+        b = interner.intern("b")
+        assert (a, b) == (1, 2)
+        assert interner.intern("a") == a  # idempotent
+        assert len(interner) == 3  # epsilon + a + b
+
+    def test_round_trip(self):
+        interner = LabelInterner()
+        for label in ("x", "y", "a longer label", "ümlaut", ""):
+            assert interner.label(interner.intern(label)) == label
+
+    def test_get_does_not_intern(self):
+        interner = LabelInterner()
+        assert interner.get("unseen") is None
+        assert len(interner) == 1
+        interner.intern("seen")
+        assert interner.get("seen") == 1
+
+    def test_contains(self):
+        interner = LabelInterner()
+        interner.intern("here")
+        assert "here" in interner
+        assert "gone" not in interner
+        assert EPSILON in interner
+
+    def test_default_interner_is_shared_by_caches(self):
+        # Two independently built caches must agree on ids, otherwise
+        # cross-tree twig comparisons would be meaningless.
+        a = TreeCache(Tree.from_bracket("{q7{q8}}"))
+        b = TreeCache(Tree.from_bracket("{q8{q7}}"))
+        assert a.interner is b.interner is DEFAULT_INTERNER
+        assert a.labels[a.size] == b.labels[1]  # both are "q7"
+
+    def test_explicit_interner(self):
+        interner = LabelInterner()
+        cache = TreeCache(Tree.from_bracket("{a{b}}"), interner=interner)
+        assert cache.interner is interner
+        assert interner.get("a") is not None
+
+
+class TestPackedTwigKeys:
+    @given(
+        st.integers(min_value=0, max_value=MAX_LABEL_ID),
+        st.integers(min_value=0, max_value=MAX_LABEL_ID),
+        st.integers(min_value=0, max_value=MAX_LABEL_ID),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, label, left, right):
+        assert unpack_twig(pack_twig(label, left, right)) == (label, left, right)
+
+    @given(
+        st.tuples(
+            st.integers(min_value=0, max_value=MAX_LABEL_ID),
+            st.integers(min_value=0, max_value=MAX_LABEL_ID),
+            st.integers(min_value=0, max_value=MAX_LABEL_ID),
+        ),
+        st.tuples(
+            st.integers(min_value=0, max_value=MAX_LABEL_ID),
+            st.integers(min_value=0, max_value=MAX_LABEL_ID),
+            st.integers(min_value=0, max_value=MAX_LABEL_ID),
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_injective(self, twig_a, twig_b):
+        if twig_a != twig_b:
+            assert pack_twig(*twig_a) != pack_twig(*twig_b)
+
+    def test_epsilon_components_pack_as_zero_bits(self):
+        assert pack_twig(0, 0, 0) == 0
+        key = pack_twig(5, 0, 0)
+        assert unpack_twig(key) == (5, 0, 0)
+        assert key == 5 << 42
+
+    def test_key_matches_subgraph_twig(self):
+        from repro.core.partition import extract_partition
+
+        cache = TreeCache(Tree.from_bracket("{a{b}{c{d}{e}}{f}}"))
+        for sub in extract_partition(cache, 0, 3):
+            assert unpack_twig(sub.twig_key) == sub.twig_ids
+            label = cache.interner.label
+            assert sub.twig == tuple(label(i) for i in sub.twig_ids)
+
+    def test_interner_overflow_guard(self):
+        from repro.errors import InvalidParameterError
+
+        interner = LabelInterner()
+        interner._labels = [EPSILON] * (MAX_LABEL_ID + 1)  # simulate fullness
+        with pytest.raises(InvalidParameterError, match="overflow"):
+            interner.intern("one-too-many")

@@ -9,6 +9,7 @@ MODULE_NAMES = [
     "repro.api",
     "repro.rsjoin",
     "repro.search",
+    "repro.core.intern",
     "repro.core.join",
     "repro.ted.api",
     "repro.ted.cutoff",
