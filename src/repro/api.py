@@ -8,7 +8,8 @@ configuration).
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from dataclasses import replace
+from typing import Callable, Sequence
 
 from repro.baselines.common import JoinResult
 from repro.baselines.histogram_join import histogram_join
@@ -24,12 +25,17 @@ __all__ = ["similarity_join", "JOIN_METHODS"]
 
 def _partsj(trees: Sequence[Tree], tau: int, **options) -> JoinResult:
     config = options.pop("config", None)
+    # workers is an execution knob, not a filter variant: it composes with
+    # an explicit config instead of conflicting with it.
+    workers = options.pop("workers", None)
     if options and config is not None:
         raise InvalidParameterError(
             "pass either a PartSJConfig via config= or individual options, not both"
         )
     if config is None:
         config = PartSJConfig(**options) if options else None
+    if workers is not None and workers != 1:
+        config = replace(config or PartSJConfig(), workers=workers)
     return partsj_join(trees, tau, config)
 
 
@@ -41,8 +47,8 @@ JOIN_METHODS: dict[str, Callable[..., JoinResult]] = {
     "partsj": _partsj,  # the paper's PRT
     "prt": _partsj,  # figure-series alias
     "str": lambda trees, tau, **o: str_join(trees, tau, **o),
-    "set": lambda trees, tau, **o: set_join(trees, tau),
-    "histogram": lambda trees, tau, **o: histogram_join(trees, tau),
+    "set": lambda trees, tau, **o: set_join(trees, tau, **o),
+    "histogram": lambda trees, tau, **o: histogram_join(trees, tau, **o),
     "nested_loop": _nested_loop,  # ground truth (REL)
     "rel": _nested_loop,
 }
@@ -52,6 +58,7 @@ def similarity_join(
     trees: Sequence[Tree],
     tau: int,
     method: str = "partsj",
+    workers: int = 1,
     **options,
 ) -> JoinResult:
     """Similarity self-join: all pairs with ``TED <= tau``.
@@ -67,6 +74,12 @@ def similarity_join(
         ``"partsj"`` (default), ``"str"``, ``"set"``, ``"histogram"``, or
         ``"nested_loop"``.  All methods return the identical result set;
         they differ in filtering strategy and therefore speed.
+    workers:
+        Worker process count (default ``1`` = serial, in-process).  Every
+        method verifies candidates through the parallel pool; PartSJ
+        additionally shards candidate generation itself
+        (:mod:`repro.parallel`).  Results are bit-identical at every
+        setting.
     options:
         Method-specific options, e.g. ``config=PartSJConfig.paper()`` or
         ``semantics="paper"`` for PartSJ, ``use_bounds=False`` for the
@@ -82,6 +95,12 @@ def similarity_join(
         raise InvalidParameterError(
             f"unknown join method {method!r}; choose from {sorted(JOIN_METHODS)}"
         ) from None
+    if not isinstance(workers, int) or workers < 1:
+        raise InvalidParameterError(
+            f"workers must be an integer >= 1, got {workers!r}"
+        )
+    if workers != 1:
+        options["workers"] = workers
     return impl(trees, tau, **options)
 
 

@@ -67,6 +67,7 @@ __all__ = [
     "JoinResult",
     "TreeFeatures",
     "Verifier",
+    "DeferredVerification",
     "SizeSortedCollection",
     "check_join_inputs",
 ]
@@ -419,6 +420,53 @@ class Verifier:
         }
 
 
+class DeferredVerification:
+    """Candidate sink for a join running with ``workers > 1``.
+
+    Every join method shares the same parallel shape: its candidate loop
+    stays serial (it is method-specific and cheap relative to TED), but
+    instead of verifying inline it collects the pairs here and resolves
+    them through the shared verification pool at the end
+    (:func:`repro.parallel.verify_pool.parallel_verify`).  ``options`` are
+    the join's usual :class:`Verifier` keyword arguments, so each worker
+    applies exactly the bound pipeline the serial run would have.
+
+    :meth:`resolve` fills the verification side of ``stats`` (``ted_calls``,
+    ``verify_time`` as summed worker CPU seconds, the verifier breakdown
+    counters, plus ``workers`` / ``verify_chunks`` / ``verify_wall_time``)
+    and returns the accepted pairs — exact distances, canonical order,
+    identical to inline verification.
+    """
+
+    def __init__(self, workers: int, options: Optional[dict] = None):
+        self.workers = workers
+        self.options = options
+        self.pairs: list[tuple[int, int]] = []
+
+    def add(self, i: int, j: int) -> None:
+        self.pairs.append((i, j))
+
+    def resolve(
+        self, trees: Sequence[Tree], tau: int, stats: JoinStats
+    ) -> list[JoinPair]:
+        # Local import: repro.parallel builds on this module.
+        from repro.parallel.verify_pool import parallel_verify
+
+        verified, verify_stats = parallel_verify(
+            trees, tau, self.pairs, self.workers, options=self.options
+        )
+        stats.ted_calls = verify_stats["ted_calls"]
+        stats.verify_time = verify_stats["verify_time"]
+        for key in ("lb_filtered", "ub_accepted", "ted_early_exits"):
+            stats.extra[key] = verify_stats[key]
+        stats.extra["workers"] = self.workers
+        stats.extra["verify_chunks"] = verify_stats["verify_chunks"]
+        stats.extra["verify_wall_time"] = round(
+            verify_stats["verify_wall_time"], 6
+        )
+        return verified
+
+
 class SizeSortedCollection:
     """Trees sorted ascending by size, remembering original indices.
 
@@ -432,9 +480,28 @@ class SizeSortedCollection:
         self.trees = trees
         # Ascending sizes, hoisted once; every tau window reuses them.
         self.sizes: list[int] = [trees[k].size for k in self.order]
+        self._histogram: Optional[list[tuple[int, int]]] = None
 
     def __len__(self) -> int:
         return len(self.order)
+
+    def size_histogram(self) -> list[tuple[int, int]]:
+        """Ascending ``(size, count)`` runs of the sorted collection.
+
+        Computed once and cached; shard planning
+        (:func:`repro.parallel.sharding.plan_shards`) and collection
+        statistics read it instead of re-scanning ``sizes``.
+        """
+        if self._histogram is None:
+            histogram: list[tuple[int, int]] = []
+            sizes = self.sizes
+            run_start = 0
+            for k in range(1, len(sizes) + 1):
+                if k == len(sizes) or sizes[k] != sizes[run_start]:
+                    histogram.append((sizes[run_start], k - run_start))
+                    run_start = k
+            self._histogram = histogram
+        return self._histogram
 
     def tree_at(self, position: int) -> Tree:
         """Tree at sorted position ``position``."""

@@ -13,6 +13,7 @@ import time
 from typing import Sequence
 
 from repro.baselines.common import (
+    DeferredVerification,
     JoinResult,
     JoinStats,
     SizeSortedCollection,
@@ -25,8 +26,13 @@ from repro.tree.node import Tree
 __all__ = ["histogram_join"]
 
 
-def histogram_join(trees: Sequence[Tree], tau: int) -> JoinResult:
+def histogram_join(
+    trees: Sequence[Tree], tau: int, workers: int = 1
+) -> JoinResult:
     """Similarity self-join with label and degree histogram filters.
+
+    ``workers > 1`` verifies candidates in parallel through the shared
+    verification pool (identical pairs and distances).
 
     >>> a = Tree.from_bracket("{a{b}{c}}")
     >>> b = Tree.from_bracket("{a{b}}")
@@ -38,7 +44,13 @@ def histogram_join(trees: Sequence[Tree], tau: int) -> JoinResult:
     collection = SizeSortedCollection(trees)
     # The verifier skips the label/degree bounds this screen applies and
     # still adds the binary-branch and traversal bounds the screen lacks.
-    verifier = Verifier(trees, tau, bag_bounds=("branches",))
+    # One options dict feeds both the inline and the worker-side verifiers.
+    verifier_options = {"bag_bounds": ("branches",)}
+    verifier = Verifier(trees, tau, **verifier_options)
+    deferred = (
+        DeferredVerification(workers, options=verifier_options)
+        if workers > 1 else None
+    )
 
     # The histogram filters read the verifier's per-tree feature cache:
     # each label/degree bag is built lazily on first touch and shared.
@@ -66,16 +78,22 @@ def histogram_join(trees: Sequence[Tree], tau: int) -> JoinResult:
             continue
 
         stats.candidates += 1
+        if deferred is not None:
+            deferred.add(i, j)
+            continue
         distance = verifier.verify(i, j)
         if distance is not None:
             pairs.append(collection.make_pair(pos_a, pos_b, distance))
 
     stats.probe_time = stats.candidate_time  # filter-only: no insert phase
-    stats.ted_calls = verifier.stats_ted_calls
-    stats.verify_time = verifier.stats_time
+    if deferred is not None:
+        pairs.extend(deferred.resolve(trees, tau, stats))
+    else:
+        stats.ted_calls = verifier.stats_ted_calls
+        stats.verify_time = verifier.stats_time
+        stats.extra.update(verifier.extra_stats())
     stats.results = len(pairs)
     stats.extra["pruned_by_labels"] = pruned_labels
     stats.extra["pruned_by_degrees"] = pruned_degrees
-    stats.extra.update(verifier.extra_stats())
     pairs.sort(key=lambda p: p.key())
     return JoinResult(pairs=pairs, stats=stats)

@@ -19,6 +19,7 @@ from typing import Sequence
 
 from repro.baselines.binary_branch import branch_bag_distance
 from repro.baselines.common import (
+    DeferredVerification,
     JoinResult,
     JoinStats,
     SizeSortedCollection,
@@ -30,8 +31,11 @@ from repro.tree.node import Tree
 __all__ = ["set_join"]
 
 
-def set_join(trees: Sequence[Tree], tau: int) -> JoinResult:
+def set_join(trees: Sequence[Tree], tau: int, workers: int = 1) -> JoinResult:
     """Similarity self-join with the binary branch filter.
+
+    ``workers > 1`` verifies candidates in parallel through the shared
+    verification pool (identical pairs and distances).
 
     >>> a = Tree.from_bracket("{a{b}{c}}")
     >>> b = Tree.from_bracket("{a{b}}")
@@ -43,7 +47,13 @@ def set_join(trees: Sequence[Tree], tau: int) -> JoinResult:
     collection = SizeSortedCollection(trees)
     # The verifier skips the branch bound this screen applies (bib <= 5*tau
     # is the same bag L1) and still adds the label/degree/traversal bounds.
-    verifier = Verifier(trees, tau, bag_bounds=("labels", "degrees"))
+    # One options dict feeds both the inline and the worker-side verifiers.
+    verifier_options = {"bag_bounds": ("labels", "degrees")}
+    verifier = Verifier(trees, tau, **verifier_options)
+    deferred = (
+        DeferredVerification(workers, options=verifier_options)
+        if workers > 1 else None
+    )
 
     # Branch bags come from the verifier's shared per-tree feature cache
     # (only the branch part is materialized; the rest stays lazy).
@@ -67,15 +77,21 @@ def set_join(trees: Sequence[Tree], tau: int) -> JoinResult:
             continue
 
         stats.candidates += 1
+        if deferred is not None:
+            deferred.add(i, j)
+            continue
         distance = verifier.verify(i, j)
         if distance is not None:
             pairs.append(collection.make_pair(pos_a, pos_b, distance))
 
     stats.probe_time = stats.candidate_time  # filter-only: no insert phase
-    stats.ted_calls = verifier.stats_ted_calls
-    stats.verify_time = verifier.stats_time
+    if deferred is not None:
+        pairs.extend(deferred.resolve(trees, tau, stats))
+    else:
+        stats.ted_calls = verifier.stats_ted_calls
+        stats.verify_time = verifier.stats_time
+        stats.extra.update(verifier.extra_stats())
     stats.results = len(pairs)
     stats.extra["pruned_by_bib"] = pruned
-    stats.extra.update(verifier.extra_stats())
     pairs.sort(key=lambda p: p.key())
     return JoinResult(pairs=pairs, stats=stats)

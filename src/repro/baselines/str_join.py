@@ -22,6 +22,7 @@ import time
 from typing import Sequence
 
 from repro.baselines.common import (
+    DeferredVerification,
     JoinResult,
     JoinStats,
     SizeSortedCollection,
@@ -34,7 +35,12 @@ from repro.tree.node import Tree
 __all__ = ["str_join"]
 
 
-def str_join(trees: Sequence[Tree], tau: int, banded: bool = True) -> JoinResult:
+def str_join(
+    trees: Sequence[Tree],
+    tau: int,
+    banded: bool = True,
+    workers: int = 1,
+) -> JoinResult:
     """Similarity self-join with the traversal-string filter.
 
     Parameters
@@ -47,6 +53,10 @@ def str_join(trees: Sequence[Tree], tau: int, banded: bool = True) -> JoinResult
         candidate-generation bars in Figure 10).  ``banded=False``
         reproduces the paper-faithful cost profile; the candidate and
         result sets are identical either way.
+    workers:
+        With ``workers > 1`` candidates are verified in parallel through
+        :func:`repro.parallel.verify_pool.parallel_verify` (identical
+        pairs and distances).
 
     >>> a = Tree.from_bracket("{a{b}{c}}")
     >>> b = Tree.from_bracket("{a{b}}")
@@ -58,8 +68,15 @@ def str_join(trees: Sequence[Tree], tau: int, banded: bool = True) -> JoinResult
     stats.extra["banded"] = banded
     collection = SizeSortedCollection(trees)
     # STR candidates already passed the banded pre/postorder string filter,
-    # so the verifier skips its own traversal-string bound.
-    verifier = Verifier(trees, tau, traversal_bound=False)
+    # so the verifier skips its own traversal-string bound.  One options
+    # dict feeds both the inline verifier and the worker-side ones, so the
+    # serial and parallel paths can never run different bound pipelines.
+    verifier_options = {"traversal_bound": False}
+    verifier = Verifier(trees, tau, **verifier_options)
+    deferred = (
+        DeferredVerification(workers, options=verifier_options)
+        if workers > 1 else None
+    )
 
     # Traversal strings are computed once per tree, not once per pair.
     start = time.perf_counter()
@@ -95,16 +112,22 @@ def str_join(trees: Sequence[Tree], tau: int, banded: bool = True) -> JoinResult
             continue
 
         stats.candidates += 1
+        if deferred is not None:
+            deferred.add(i, j)
+            continue
         distance = verifier.verify(i, j)
         if distance is not None:
             pairs.append(collection.make_pair(pos_a, pos_b, distance))
 
     stats.probe_time = stats.candidate_time  # filter-only: no insert phase
-    stats.ted_calls = verifier.stats_ted_calls
-    stats.verify_time = verifier.stats_time
+    if deferred is not None:
+        pairs.extend(deferred.resolve(trees, tau, stats))
+    else:
+        stats.ted_calls = verifier.stats_ted_calls
+        stats.verify_time = verifier.stats_time
+        stats.extra.update(verifier.extra_stats())
     stats.results = len(pairs)
     stats.extra["pruned_by_preorder"] = pruned_pre
     stats.extra["pruned_by_postorder"] = pruned_post
-    stats.extra.update(verifier.extra_stats())
     pairs.sort(key=lambda p: p.key())
     return JoinResult(pairs=pairs, stats=stats)

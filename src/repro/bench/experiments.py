@@ -167,6 +167,7 @@ def _run_series(
     methods: Sequence[str],
     x_name: str,
     progress: Progress,
+    workers: int = 1,
 ) -> list[CellResult]:
     cells: list[CellResult] = []
     for x_value, trees, tau in workloads:
@@ -179,7 +180,7 @@ def _run_series(
             cells.append(
                 run_cell(
                     experiment, dataset, trees, tau, method, x_name, x_value,
-                    partsj_config=BENCH_PRT_CONFIG,
+                    partsj_config=BENCH_PRT_CONFIG, workers=workers,
                 )
             )
     return cells
@@ -189,6 +190,7 @@ def run_fig10_11(
     scale: Optional[Scale] = None,
     datasets: Optional[Sequence[str]] = None,
     progress: Progress = None,
+    workers: int = 1,
 ) -> list[CellResult]:
     """Figures 10 & 11: runtime and candidates vs TED threshold tau.
 
@@ -203,7 +205,7 @@ def run_fig10_11(
         cells.extend(
             _run_series(
                 "fig10_11", dataset, workloads,
-                ("STR", "SET", "PRT", "REL"), "tau", progress,
+                ("STR", "SET", "PRT", "REL"), "tau", progress, workers,
             )
         )
     return cells
@@ -213,6 +215,7 @@ def run_fig12_13(
     scale: Optional[Scale] = None,
     datasets: Optional[Sequence[str]] = None,
     progress: Progress = None,
+    workers: int = 1,
 ) -> list[CellResult]:
     """Figures 12 & 13: runtime and candidates vs dataset cardinality."""
     scale = scale or get_scale()
@@ -228,7 +231,7 @@ def run_fig12_13(
         cells.extend(
             _run_series(
                 "fig12_13", dataset, workloads,
-                ("STR", "SET", "PRT", "REL"), "cardinality", progress,
+                ("STR", "SET", "PRT", "REL"), "cardinality", progress, workers,
             )
         )
     return cells
@@ -270,6 +273,7 @@ def run_fig14(
     parameter: str,
     scale: Optional[Scale] = None,
     progress: Progress = None,
+    workers: int = 1,
 ) -> list[CellResult]:
     """Figure 14: sensitivity to fanout / depth / labels / tree size.
 
@@ -280,13 +284,14 @@ def run_fig14(
     workloads = _sensitivity_workloads(scale, parameter)
     return _run_series(
         f"fig14_{parameter}", "synthetic", workloads,
-        ("STR", "SET", "PRT", "REL"), parameter, progress,
+        ("STR", "SET", "PRT", "REL"), parameter, progress, workers,
     )
 
 
 def run_ablation_partitioning(
     scale: Optional[Scale] = None,
     progress: Progress = None,
+    workers: int = 1,
 ) -> list[CellResult]:
     """Section 4.3 closing remark: MaxMinSize vs random partitioning.
 
@@ -303,7 +308,7 @@ def run_ablation_partitioning(
             config = replace(BENCH_PRT_CONFIG, partition_strategy=strategy)
             cell = run_cell(
                 "ablation_partitioning", "synthetic", trees, tau, "PRT",
-                "tau", tau, partsj_config=config,
+                "tau", tau, partsj_config=config, workers=workers,
             )
             cell.method = f"PRT[{strategy}]"
             cells.append(cell)
@@ -313,6 +318,7 @@ def run_ablation_partitioning(
 def run_ablation_filters(
     scale: Optional[Scale] = None,
     progress: Progress = None,
+    workers: int = 1,
 ) -> list[CellResult]:
     """Filter-variant ablation, including the published (unsound) window.
 
@@ -328,7 +334,7 @@ def run_ablation_filters(
     _note(progress, "[ablation_filters] REL baseline")
     cells.append(
         run_cell("ablation_filters", "synthetic", trees, tau, "REL",
-                 "variant", "exact")
+                 "variant", "exact", workers=workers)
     )
     for semantics in ("paper", "safe"):
         for window in ("paper", "safe", "off"):
@@ -337,6 +343,7 @@ def run_ablation_filters(
             cell = run_cell(
                 "ablation_filters", "synthetic", trees, tau, "PRT",
                 "variant", f"{semantics}/{window}", partsj_config=config,
+                workers=workers,
             )
             cell.method = f"PRT[{semantics}/{window}]"
             cells.append(cell)
@@ -346,6 +353,7 @@ def run_ablation_filters(
 def run_ablation_str_banding(
     scale: Optional[Scale] = None,
     progress: Progress = None,
+    workers: int = 1,
 ) -> list[CellResult]:
     """Our STR improvement: banded early-exit DP vs the paper's full DP."""
     scale = scale or get_scale()
@@ -356,7 +364,7 @@ def run_ablation_str_banding(
             _note(progress, f"[ablation_str_banding] banded={banded} tau={tau}")
             cell = run_cell(
                 "ablation_str_banding", "swissprot", trees, tau, "STR",
-                "tau", tau, str_banded=banded,
+                "tau", tau, str_banded=banded, workers=workers,
             )
             cell.method = "STR[banded]" if banded else "STR[full]"
             cells.append(cell)
@@ -389,6 +397,7 @@ def run_experiment(
     experiment_id: str,
     scale: Optional[str | Scale] = None,
     progress: Progress = None,
+    workers: int = 1,
 ) -> list[CellResult]:
     """Run one registered experiment by id and return its cells."""
     try:
@@ -398,4 +407,4 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
     resolved = scale if isinstance(scale, Scale) else get_scale(scale)
-    return runner(scale=resolved, progress=progress)
+    return runner(scale=resolved, progress=progress, workers=workers)

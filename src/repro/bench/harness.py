@@ -49,6 +49,9 @@ class CellResult:
     # baselines probe_time == candidate_time and index_time == 0.
     probe_time: float = 0.0
     index_time: float = 0.0
+    # Worker processes the join ran with.  For workers > 1 the phase times
+    # above are summed worker CPU seconds; wall_time is what speeds up.
+    workers: int = 1
     extra: dict = field(default_factory=dict)
 
     @property
@@ -62,11 +65,13 @@ class CellResult:
             "method": self.method,
             "x_name": self.x_name,
             "x_value": self.x_value,
+            "workers": self.workers,
             "candidate_time": round(self.candidate_time, 4),
             "probe_time": round(self.probe_time, 4),
             "index_time": round(self.index_time, 4),
             "verify_time": round(self.verify_time, 4),
             "total_time": round(self.total_time, 4),
+            "wall_time": round(self.wall_time, 4),
             "candidates": self.candidates,
             "results": self.results,
             "ted_calls": self.ted_calls,
@@ -83,11 +88,15 @@ def run_cell(
     x_value: object,
     partsj_config: Optional[PartSJConfig] = None,
     str_banded: bool = False,
+    workers: int = 1,
 ) -> CellResult:
     """Execute one method on one workload and wrap its statistics.
 
     ``str_banded`` defaults to ``False`` so that the ``STR`` series pays the
     paper-faithful full string DP (see ``repro.baselines.str_join``).
+    ``workers`` sweeps the parallel executor (``1`` = serial engine); the
+    result set is identical at every setting, so worker-count figures plot
+    ``wall_time`` against the serial baseline.
     """
     if method not in METHOD_LABELS:
         raise InvalidParameterError(
@@ -100,7 +109,9 @@ def run_cell(
     if registry_name == "str":
         options["banded"] = str_banded
     started = time.perf_counter()
-    result = similarity_join(trees, tau, method=registry_name, **options)
+    result = similarity_join(
+        trees, tau, method=registry_name, workers=workers, **options
+    )
     wall = time.perf_counter() - started
     stats = result.stats
     return CellResult(
@@ -117,6 +128,7 @@ def run_cell(
         wall_time=wall,
         probe_time=stats.probe_time,
         index_time=stats.index_time,
+        workers=workers,
         extra=dict(stats.extra),
     )
 
@@ -129,6 +141,7 @@ def run_grid(
     x_name: str,
     partsj_config: Optional[PartSJConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
 ) -> list[CellResult]:
     """Run every method over a sequence of ``(x_value, trees, tau)`` workloads."""
     cells: list[CellResult] = []
@@ -142,7 +155,7 @@ def run_grid(
             cells.append(
                 run_cell(
                     experiment, dataset, trees, tau, method,
-                    x_name, x_value, partsj_config,
+                    x_name, x_value, partsj_config, workers=workers,
                 )
             )
     return cells

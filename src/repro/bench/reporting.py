@@ -56,13 +56,17 @@ def runtime_table(cells: Sequence[CellResult], dataset: str) -> str:
 
     Candidate generation is additionally broken into its probe and
     index-build parts (``JoinStats.probe_time`` / ``index_time``); for
-    filter-only baselines the index column is zero.
+    filter-only baselines the index column is zero.  When any cell ran
+    with ``workers > 1`` the table adds ``workers`` and ``wall (s)``
+    columns: the phase columns are then summed worker CPU seconds, and
+    the wall clock is the number a worker-count sweep actually improves.
     """
     subset = [
         c for c in cells if c.dataset == dataset and not c.method.startswith("REL")
     ]
     x_name = subset[0].x_name if subset else "x"
     methods = _methods(subset, ["STR", "SET", "HST", "PRT"])
+    parallel = any(c.workers != 1 for c in subset)
     rows = []
     for x_value in _sorted_x(subset):
         for method in methods:
@@ -72,7 +76,7 @@ def runtime_table(cells: Sequence[CellResult], dataset: str) -> str:
             )
             if cell is None:
                 continue  # sparse grid (e.g. ablations with per-method x values)
-            rows.append([
+            row = [
                 x_value,
                 method,
                 f"{cell.candidate_time:.3f}",
@@ -80,11 +84,16 @@ def runtime_table(cells: Sequence[CellResult], dataset: str) -> str:
                 f"{cell.index_time:.3f}",
                 f"{cell.verify_time:.3f}",
                 f"{cell.total_time:.3f}",
-            ])
+            ]
+            if parallel:
+                row += [cell.workers, f"{cell.wall_time:.3f}"]
+            rows.append(row)
     headers = [
         x_name, "method", "cand gen (s)", "probe (s)", "index (s)",
         "TED (s)", "total (s)",
     ]
+    if parallel:
+        headers += ["workers", "wall (s)"]
     return format_table(headers, rows)
 
 

@@ -18,6 +18,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.api import similarity_join
+from repro.baselines.common import SizeSortedCollection
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import render_figure
 from repro.core.join import PartSJConfig
@@ -70,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--pairs", action="store_true",
                       help="print every result pair (default: stats only)")
     join.add_argument("--json", action="store_true", help="machine-readable output")
+    join.add_argument("--workers", type=int, default=1,
+                      help="worker processes (1 = serial; results identical; "
+                           "per-shard timings appear under extra.shards in "
+                           "--json output)")
 
     search = commands.add_parser("search", help="similarity search")
     search.add_argument("input", help="dataset file")
@@ -90,6 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=["smoke", "small", "medium"])
     experiment.add_argument("--quiet", action="store_true",
                             help="suppress per-cell progress lines")
+    experiment.add_argument("--workers", type=int, default=1,
+                            help="worker processes per join (1 = serial)")
     return parser
 
 
@@ -115,6 +122,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     trees = load_trees(args.input)
     print(collection_stats(trees).describe())
+    histogram = SizeSortedCollection(trees).size_histogram()
+    sizes = [size for size, _ in histogram]
+    peak_size, peak_count = max(histogram, key=lambda run: run[1])
+    print(
+        f"size histogram: {len(histogram)} distinct sizes in "
+        f"[{sizes[0]}, {sizes[-1]}], mode {peak_size} ({peak_count} trees)"
+    )
     return 0
 
 
@@ -125,13 +139,16 @@ def _cmd_join(args: argparse.Namespace) -> int:
         options["config"] = PartSJConfig(
             semantics=args.semantics, postorder_filter=args.postorder_filter
         )
-    result = similarity_join(trees, args.tau, method=args.method, **options)
+    result = similarity_join(
+        trees, args.tau, method=args.method, workers=args.workers, **options
+    )
     if args.json:
         payload = {
             "stats": {
                 "method": result.stats.method,
                 "tau": result.stats.tau,
                 "trees": result.stats.tree_count,
+                "workers": args.workers,
                 "candidates": result.stats.candidates,
                 "results": result.stats.results,
                 "candidate_time": result.stats.candidate_time,
@@ -175,7 +192,9 @@ def _cmd_ted(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     progress = None if args.quiet else (lambda msg: print(msg, file=sys.stderr))
     title, _ = EXPERIMENTS[args.id]
-    cells = run_experiment(args.id, scale=args.scale, progress=progress)
+    cells = run_experiment(
+        args.id, scale=args.scale, progress=progress, workers=args.workers
+    )
     kind = "candidates" if args.id in ("fig11", "fig13") else "both"
     print(render_figure(title, cells, kind=kind))
     return 0

@@ -30,6 +30,40 @@ so its cost is negligible (and zero for collections of non-tiny trees).
 The configuration knobs (:class:`PartSJConfig`) select between the paper's
 published filter variants and the provably-safe ones; see
 :mod:`repro.core.subgraph` and :mod:`repro.core.index` for the analysis.
+
+Sharding and the handoff-band invariant
+---------------------------------------
+The probe/insert loop is packaged as :class:`ShardDriver`, a *resumable
+per-shard driver*: the serial join runs one driver over the whole
+size-sorted order, and the multiprocess executor
+(:mod:`repro.parallel.executor`) runs one driver per *shard* — a
+contiguous run of the size-sorted order.  Sharding is sound because a
+probing tree only ever looks **backwards** at index sizes
+``[|Ti| - tau, |Ti|]``:
+
+- A shard owning sorted positions ``[p_lo, p_hi]`` (owned size range
+  ``[lo, hi]``) first bulk-inserts its *handoff band* — every earlier
+  position whose size is ``>= lo - tau`` — via
+  :meth:`ShardDriver.insert_only` (partition + index insert, or small-pool
+  append, with **no probing**), then probes/inserts its owned trees in the
+  usual ascending order.  The band is exactly wide enough that every
+  partner a shard tree could have under the size filter is present in the
+  shard's private index before the tree probes.
+- A candidate pair is therefore *counted exactly once, by the shard
+  owning the later tree of the sorted order* (the larger tree; for
+  equal-size trees, the one later in the stable order): the earlier tree
+  is band- or owned-inserted there, while no other shard ever probes the
+  later tree.  Cross-shard pairs need no coordination and, with the
+  deterministic ``"maxmin"`` partitioning, the merged candidate set —
+  and every owned-tree counter — is identical to the serial run's.
+
+One caveat: ``partition_strategy="random"`` draws each shard's random
+cuts from a fresh per-driver stream (serial consumption order cannot be
+replayed across shards), so under ``workers > 1`` the *candidate set*
+may differ slightly from the serial run's.  The **result pairs and
+distances are still bit-identical** — every sound configuration's filter
+is complete for any partition — but random-partition ablation figures
+should be swept at a fixed worker count.
 """
 
 from __future__ import annotations
@@ -61,7 +95,7 @@ from repro.core.treecache import TreeCache
 from repro.errors import InvalidParameterError
 from repro.tree.node import Tree
 
-__all__ = ["PartSJConfig", "partsj_join"]
+__all__ = ["PartSJConfig", "ShardDriver", "partsj_join"]
 
 
 @dataclass(frozen=True)
@@ -90,6 +124,11 @@ class PartSJConfig:
         (LC-RS postorder — the other plausible reading of the paper's
         Figure 7, under which no constant window is sound: a single delete
         can displace a promoted subtree past an arbitrarily large sibling).
+    workers:
+        Number of worker processes.  ``1`` (default) runs the serial
+        engine in-process; ``> 1`` dispatches to the sharded executor of
+        :mod:`repro.parallel.executor` (identical pair set and distances,
+        see the module docstring's handoff-band invariant).
     """
 
     semantics: MatchSemantics | str = MatchSemantics.SAFE
@@ -97,6 +136,7 @@ class PartSJConfig:
     partition_strategy: str = "maxmin"
     seed: int = 0
     postorder_numbering: str = "general"
+    workers: int = 1
 
     def resolved(self) -> "PartSJConfig":
         """Normalize string fields to enums and validate."""
@@ -110,12 +150,17 @@ class PartSJConfig:
                 f"unknown postorder numbering {self.postorder_numbering!r}; "
                 "use 'general' or 'binary'"
             )
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise InvalidParameterError(
+                f"workers must be an integer >= 1, got {self.workers!r}"
+            )
         return PartSJConfig(
             semantics=MatchSemantics.coerce(self.semantics),
             postorder_filter=PostorderFilter.coerce(self.postorder_filter),
             partition_strategy=self.partition_strategy,
             seed=self.seed,
             postorder_numbering=self.postorder_numbering,
+            workers=self.workers,
         )
 
     @classmethod
@@ -140,6 +185,12 @@ class _ProbeCounters:
     small_trees: int = 0
     subgraphs_built: int = 0
     gamma_total: int = 0  # sum of chosen gammas (for average reporting)
+    # Handoff-band overhead of the sharded executor: insert-only trees
+    # re-partitioned at a shard boundary.  Always 0 in a serial run, and
+    # excluded from the owned-tree counters above so those merge to the
+    # exact serial values across shards.
+    band_trees: int = 0
+    band_subgraphs: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -152,7 +203,159 @@ class _ProbeCounters:
             "small_trees": self.small_trees,
             "subgraphs_built": self.subgraphs_built,
             "gamma_total": self.gamma_total,
+            "band_trees": self.band_trees,
+            "band_subgraphs": self.band_subgraphs,
         }
+
+
+class ShardDriver:
+    """Resumable probe/insert driver over one ascending-size run of trees.
+
+    One driver owns the per-shard join state of Algorithm 1 — the inverted
+    size index, the label interner, the checked-pair set, the small-tree
+    pool and the probe counters.  Callers feed it original tree indices
+    **in ascending size-sorted order** (ties in the collection's stable
+    order):
+
+    - :meth:`probe` runs the probe phase of one tree and returns its
+      candidate partners; the caller decides what to do with them (the
+      serial join verifies inline, the sharded executor collects them for
+      the parallel verification stage).
+    - :meth:`insert` runs the insert phase of the same tree (partition +
+      index insert, or small-pool append).  It must follow :meth:`probe`
+      for that tree — the probe's :class:`TreeCache` is reused.
+    - :meth:`insert_only` processes a *handoff-band* tree of the sharded
+      executor: indexed (or pooled) without probing, so a later owned tree
+      can find it, and counted separately (``band_trees`` /
+      ``band_subgraphs``) so the owned-tree counters merge to the exact
+      serial values.
+
+    The serial join is the one-shard special case: every tree is owned,
+    the band is empty.
+    """
+
+    def __init__(
+        self,
+        trees: Sequence[Tree],
+        tau: int,
+        config: Optional[PartSJConfig] = None,
+    ):
+        cfg = (config or PartSJConfig()).resolved()
+        self.trees = trees
+        self.tau = tau
+        self.config = cfg
+        self.semantics: MatchSemantics = cfg.semantics  # type: ignore[assignment]
+        self.numbering = cfg.postorder_numbering
+        self.index = InvertedSizeIndex(tau, cfg.postorder_filter)
+        # One interner per driver: all caches (probe and stored sides)
+        # share it, and the packed-key label budget is per shard.
+        self.interner = LabelInterner()
+        self.counters = _ProbeCounters()
+        self.checked: set[tuple[int, int]] = set()
+        self.small_pool: list[tuple[int, int]] = []  # (original index, size)
+        self.rng = random.Random(cfg.seed)
+        self.delta = 2 * tau + 1
+        self.min_size = min_partitionable_size(tau)
+        self.gamma_hint: Optional[int] = None  # near-duplicates share gamma
+        self.probe_time = 0.0
+        self.index_time = 0.0
+        self.band_time = 0.0
+        self._probed_index: Optional[int] = None
+        self._probed_cache: Optional[TreeCache] = None
+
+    def probe(self, i: int) -> list[int]:
+        """Probe phase for tree ``i``: candidate partner original indices."""
+        tree = self.trees[i]
+        n = tree.size
+        tau = self.tau
+        counters = self.counters
+        checked = self.checked
+        start = time.perf_counter()
+        candidates: list[int] = []
+
+        if n >= self.min_size:
+            cache = TreeCache(tree, self.interner)
+            _probe_index(
+                self.index, cache, i, n, tau, self.min_size, self.semantics,
+                checked, candidates, counters, self.numbering,
+            )
+        else:
+            cache = None
+            counters.small_trees += 1
+
+        # Small-pool partners: only relevant while |Ti| - tau can reach the
+        # pool's size range [1, 2*tau].
+        if self.small_pool and n - tau <= 2 * tau:
+            for j, size_j in self.small_pool:
+                if size_j >= n - tau:
+                    key = (j, i) if j < i else (i, j)
+                    if key not in checked:
+                        checked.add(key)
+                        counters.small_pool_pairs += 1
+                        candidates.append(j)
+        self._probed_index = i
+        self._probed_cache = cache
+        self.probe_time += time.perf_counter() - start
+        return candidates
+
+    def insert(self, i: int) -> None:
+        """Insert phase for tree ``i``; must follow ``probe(i)``."""
+        if self._probed_index != i:
+            raise InvalidParameterError(
+                f"insert({i}) must follow probe({i}); last probed: "
+                f"{self._probed_index}"
+            )
+        start = time.perf_counter()
+        cache = self._probed_cache
+        if cache is not None:
+            subgraphs = self._partition(cache, i, owned=True)
+            self.index.insert_all(self.trees[i].size, subgraphs)
+            self.counters.partitioned_trees += 1
+            self.counters.subgraphs_built += len(subgraphs)
+        else:
+            self.small_pool.append((i, self.trees[i].size))
+        self._probed_index = None
+        self._probed_cache = None
+        self.index_time += time.perf_counter() - start
+
+    def insert_only(self, i: int) -> None:
+        """Index a handoff-band tree without probing it (sharded executor).
+
+        The tree becomes findable by later owned trees exactly as if it
+        had been processed normally; its work is timed in ``band_time``
+        and counted in the ``band_*`` counters, never in the owned-tree
+        ones.
+        """
+        tree = self.trees[i]
+        n = tree.size
+        start = time.perf_counter()
+        if n >= self.min_size:
+            cache = TreeCache(tree, self.interner)
+            subgraphs = self._partition(cache, i, owned=False)
+            self.index.insert_all(n, subgraphs)
+            self.counters.band_subgraphs += len(subgraphs)
+        else:
+            self.small_pool.append((i, n))
+        self.counters.band_trees += 1
+        self.band_time += time.perf_counter() - start
+
+    def _partition(self, cache: TreeCache, i: int, owned: bool):
+        """Cut tree ``i`` into ``delta`` subgraphs per the configured strategy."""
+        if self.config.partition_strategy == "random":
+            subgraphs = extract_random_partition(
+                cache, i, self.delta, self.rng, self.numbering
+            )
+            if owned:
+                self.counters.gamma_total += min(sub.size for sub in subgraphs)
+        else:
+            gamma = max_min_size_cached(cache, self.delta, hint=self.gamma_hint)
+            self.gamma_hint = gamma
+            subgraphs = extract_partition(
+                cache, i, self.delta, gamma, self.numbering, check=False
+            )
+            if owned:
+                self.counters.gamma_total += gamma
+        return subgraphs
 
 
 def partsj_join(
@@ -170,6 +373,8 @@ def partsj_join(
         The TED threshold.
     config:
         Filter variants; defaults to the provably-exact configuration.
+        ``config.workers > 1`` runs the sharded multiprocess executor of
+        :mod:`repro.parallel.executor` (identical pairs and distances).
 
     >>> a = Tree.from_bracket("{a{b}{c{d}{e}}{f}}")
     >>> b = Tree.from_bracket("{a{b}{c{d}{e}}{g}}")
@@ -178,53 +383,20 @@ def partsj_join(
     """
     check_join_inputs(trees, tau)
     cfg = (config or PartSJConfig()).resolved()
-    semantics: MatchSemantics = cfg.semantics  # type: ignore[assignment]
+    if cfg.workers > 1:
+        from repro.parallel.executor import parallel_partsj_join
+
+        return parallel_partsj_join(trees, tau, cfg)
+
     stats = JoinStats(method="PRT", tau=tau, tree_count=len(trees))
-    counters = _ProbeCounters()
     collection = SizeSortedCollection(trees)
     verifier = Verifier(trees, tau)
-    index = InvertedSizeIndex(tau, cfg.postorder_filter)
-    # One interner per join: all caches (probe and stored sides) share it,
-    # and the packed-key label budget is per collection, not per process.
-    interner = LabelInterner()
-    rng = random.Random(cfg.seed)
-
-    delta = 2 * tau + 1
-    min_size = min_partitionable_size(tau)
-    small_pool: list[tuple[int, int]] = []  # (original index, size)
-    checked: set[tuple[int, int]] = set()
+    driver = ShardDriver(trees, tau, cfg)
     pairs: list[JoinPair] = []
-    gamma_hint: Optional[int] = None  # warm-start: near-duplicates share gamma
 
     for position in range(len(collection)):
         i = collection.original_index(position)
-        tree = trees[i]
-        n = tree.size
-
-        start = time.perf_counter()
-        candidates: list[int] = []  # original indices j to verify against i
-
-        if n >= min_size:
-            cache = TreeCache(tree, interner)
-            _probe_index(
-                index, cache, i, n, tau, min_size, semantics, checked,
-                candidates, counters, cfg.postorder_numbering,
-            )
-        else:
-            cache = None
-            counters.small_trees += 1
-
-        # Small-pool partners: only relevant while |Ti| - tau can reach the
-        # pool's size range [1, 2*tau].
-        if small_pool and n - tau <= 2 * tau:
-            for j, size_j in small_pool:
-                if size_j >= n - tau:
-                    key = (j, i) if j < i else (i, j)
-                    if key not in checked:
-                        checked.add(key)
-                        counters.small_pool_pairs += 1
-                        candidates.append(j)
-        stats.probe_time += time.perf_counter() - start
+        candidates = driver.probe(i)
 
         # Verification (the "TED computation" phase of Figures 10/12/14).
         stats.candidates += len(candidates)
@@ -235,35 +407,19 @@ def partsj_join(
                 pairs.append(JoinPair(lo, hi, distance))
 
         # Insert phase: partition Ti and file its subgraphs.
-        start = time.perf_counter()
-        if cache is not None:
-            if cfg.partition_strategy == "random":
-                subgraphs = extract_random_partition(
-                    cache, i, delta, rng, cfg.postorder_numbering
-                )
-                counters.gamma_total += min(sub.size for sub in subgraphs)
-            else:
-                gamma = max_min_size_cached(cache, delta, hint=gamma_hint)
-                gamma_hint = gamma
-                subgraphs = extract_partition(
-                    cache, i, delta, gamma, cfg.postorder_numbering, check=False
-                )
-                counters.gamma_total += gamma
-            index.insert_all(n, subgraphs)
-            counters.partitioned_trees += 1
-            counters.subgraphs_built += len(subgraphs)
-        else:
-            small_pool.append((i, n))
-        stats.index_time += time.perf_counter() - start
+        driver.insert(i)
 
+    stats.probe_time = driver.probe_time
+    stats.index_time = driver.index_time
     stats.candidate_time = stats.probe_time + stats.index_time
     stats.ted_calls = verifier.stats_ted_calls
     stats.verify_time = verifier.stats_time
     stats.results = len(pairs)
+    counters = driver.counters
     stats.pairs_considered = counters.probe_hits + counters.small_pool_pairs
     stats.extra = counters.as_dict()
-    stats.extra["total_indexed_subgraphs"] = index.total_subgraphs
-    stats.extra["total_index_entries"] = index.total_entries
+    stats.extra["total_indexed_subgraphs"] = driver.index.total_subgraphs
+    stats.extra["total_index_entries"] = driver.index.total_entries
     stats.extra.update(verifier.extra_stats())
     pairs.sort(key=lambda p: p.key())
     return JoinResult(pairs=pairs, stats=stats)

@@ -1,0 +1,38 @@
+"""``repro.parallel``: the sharded multiprocess join executor.
+
+Scales the size-sorted join loop across worker processes while keeping
+results bit-identical to the serial engine:
+
+- :mod:`~repro.parallel.sharding` — cost-balanced shard planning over the
+  collection's size histogram, with the tau-wide handoff band that makes
+  shards independent (``ShardPlan`` / ``ShardResult`` protocol);
+- :mod:`~repro.parallel.executor` — pool lifecycle, the two-stage
+  candidate-generation + verification run, deterministic stats merge;
+- :mod:`~repro.parallel.verify_pool` — chunked parallel verification
+  usable by every join method, not just PartSJ;
+- :mod:`~repro.parallel.worker` — per-process state (lazily parsed
+  collection, persistent ``Verifier``) and the task functions.
+
+Entry points: ``similarity_join(..., workers=N)``,
+``PartSJConfig(workers=N)``, or the CLI's ``--workers``.
+"""
+
+from repro.parallel.executor import open_pool, parallel_partsj_join
+from repro.parallel.sharding import (
+    ShardPlan,
+    ShardResult,
+    estimated_probe_cost,
+    plan_shards,
+)
+from repro.parallel.verify_pool import chunk_pairs, parallel_verify
+
+__all__ = [
+    "ShardPlan",
+    "ShardResult",
+    "estimated_probe_cost",
+    "plan_shards",
+    "open_pool",
+    "parallel_partsj_join",
+    "chunk_pairs",
+    "parallel_verify",
+]

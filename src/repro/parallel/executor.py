@@ -1,0 +1,175 @@
+"""The sharded multiprocess join executor (PartSJ across worker processes).
+
+Execution model — two stages over one worker pool:
+
+1. **Candidate generation**: the size-sorted loop is cut into cost-
+   balanced shards (:func:`repro.parallel.sharding.plan_shards`); each
+   worker runs a private :class:`~repro.core.join.ShardDriver` over its
+   handoff band (insert-only) and owned trees, returning the shard's
+   candidate pairs and counters.  The handoff-band invariant (see
+   :mod:`repro.core.join`) guarantees the union of shard candidate sets
+   equals the serial engine's, with no duplicates across shards.
+2. **Verification**: the deduplicated, canonically ordered pairs are
+   chunked through the same pool's persistent per-process ``Verifier``
+   (:func:`repro.parallel.verify_pool.parallel_verify`).
+
+Results are **bit-identical** to the serial engine at every ``workers``
+setting: the same pair set with the same exact distances, sorted in the
+same canonical order.  Statistics merge deterministically — with the
+default deterministic partitioning the owned-tree counters sum to the
+exact serial values (``partition_strategy="random"`` keeps the results
+identical but may shift candidate counts; see :mod:`repro.core.join`),
+timing fields are summed worker CPU seconds (``wall_time`` of the
+harness captures the actual speedup), and the per-shard breakdown is
+surfaced in ``JoinStats.extra["shards"]``.
+
+The executor falls back to the serial engine when there is nothing to
+parallelize (``workers == 1``, fewer than two trees, or a plan with a
+single shard) — pool startup is pure overhead there.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.baselines.common import (
+    JoinResult,
+    JoinStats,
+    SizeSortedCollection,
+    check_join_inputs,
+)
+from repro.core.join import PartSJConfig, partsj_join
+from repro.parallel.sharding import ShardResult, plan_shards
+from repro.parallel.verify_pool import parallel_verify
+from repro.parallel.worker import init_worker, run_shard
+from repro.tree.node import Tree
+
+__all__ = ["open_pool", "parallel_partsj_join"]
+
+# Counter keys of _ProbeCounters.as_dict() summed across shards.
+_COUNTER_KEYS = (
+    "probe_hits",
+    "match_tests",
+    "match_hits",
+    "dedup_skips",
+    "small_pool_pairs",
+    "partitioned_trees",
+    "small_trees",
+    "subgraphs_built",
+    "gamma_total",
+    "band_trees",
+    "band_subgraphs",
+)
+
+
+@contextmanager
+def open_pool(
+    trees: Sequence[Tree],
+    tau: int,
+    workers: int,
+    config: Optional[PartSJConfig] = None,
+    verifier_options: Optional[dict] = None,
+):
+    """A worker pool whose processes hold the collection (see worker.py).
+
+    The collection crosses the process boundary once, as bracket strings,
+    via the pool initializer; subsequent task payloads are index lists
+    only.  Closes (or on error terminates) and joins the pool on exit.
+    """
+    brackets = [tree.to_bracket() for tree in trees]
+    context = multiprocessing.get_context()
+    pool = context.Pool(
+        processes=workers,
+        initializer=init_worker,
+        initargs=(brackets, tau, config, verifier_options),
+    )
+    try:
+        yield pool
+        pool.close()
+    except BaseException:
+        pool.terminate()
+        raise
+    finally:
+        pool.join()
+
+
+def _merge_candidates(
+    shard_results: Sequence[ShardResult],
+) -> list[tuple[int, int]]:
+    """Union of shard candidate pairs, canonical orientation, deduplicated.
+
+    The handoff-band invariant makes cross-shard duplicates impossible;
+    the dict pass is a cheap structural guarantee that verification work
+    never depends on it.
+    """
+    merged: dict[tuple[int, int], None] = {}
+    for result in shard_results:
+        for i, j in result.candidates:
+            merged[(i, j) if i < j else (j, i)] = None
+    return sorted(merged)
+
+
+def parallel_partsj_join(
+    trees: Sequence[Tree],
+    tau: int,
+    config: Optional[PartSJConfig] = None,
+) -> JoinResult:
+    """PartSJ over ``config.workers`` processes; serial-identical results."""
+    check_join_inputs(trees, tau)
+    cfg = (config or PartSJConfig()).resolved()
+    workers = cfg.workers
+    serial_cfg = replace(cfg, workers=1)
+    if workers <= 1 or len(trees) < 2:
+        return partsj_join(trees, tau, serial_cfg)
+
+    plan_start = time.perf_counter()
+    collection = SizeSortedCollection(trees)
+    plans = plan_shards(collection, tau, workers)
+    plan_time = time.perf_counter() - plan_start
+    if len(plans) <= 1:
+        return partsj_join(trees, tau, serial_cfg)
+
+    stats = JoinStats(method="PRT", tau=tau, tree_count=len(trees))
+    with open_pool(trees, tau, workers, config=serial_cfg) as pool:
+        stage_start = time.perf_counter()
+        shard_results: list[ShardResult] = pool.map(run_shard, plans)
+        candidate_pairs = _merge_candidates(shard_results)
+        candidate_wall = time.perf_counter() - stage_start
+        pairs, verify_stats = parallel_verify(
+            trees, tau, candidate_pairs, workers, pool=pool
+        )
+
+    counters = {key: 0 for key in _COUNTER_KEYS}
+    for result in shard_results:
+        for key in _COUNTER_KEYS:
+            counters[key] += result.counters[key]
+    stats.candidates = len(candidate_pairs)
+    stats.probe_time = sum(r.probe_time for r in shard_results)
+    stats.index_time = sum(r.index_time + r.band_time for r in shard_results)
+    stats.candidate_time = stats.probe_time + stats.index_time
+    stats.ted_calls = verify_stats["ted_calls"]
+    stats.verify_time = verify_stats["verify_time"]
+    stats.results = len(pairs)
+    stats.pairs_considered = counters["probe_hits"] + counters["small_pool_pairs"]
+    stats.extra = counters
+    # Serial-equivalent index totals: owned subgraphs only (one index entry
+    # per subgraph); the per-shard totals below include the handoff-band
+    # duplicates, i.e. the sharding overhead.
+    stats.extra["total_indexed_subgraphs"] = counters["subgraphs_built"]
+    stats.extra["total_index_entries"] = counters["subgraphs_built"]
+    stats.extra["shard_index_entries"] = sum(r.index_entries for r in shard_results)
+    for key in ("lb_filtered", "ub_accepted", "ted_early_exits"):
+        stats.extra[key] = verify_stats[key]
+    stats.extra["workers"] = workers
+    stats.extra["shards"] = [r.timing_summary() for r in shard_results]
+    stats.extra["band_time"] = round(sum(r.band_time for r in shard_results), 6)
+    stats.extra["plan_time"] = round(plan_time, 6)
+    stats.extra["candidate_wall_time"] = round(candidate_wall, 6)
+    stats.extra["verify_wall_time"] = round(verify_stats["verify_wall_time"], 6)
+    stats.extra["verify_chunks"] = verify_stats["verify_chunks"]
+    # parallel_verify already returns canonical (i, j)-sorted pairs.
+    return JoinResult(pairs=pairs, stats=stats)

@@ -1,0 +1,160 @@
+"""Parallel verification: chunked candidate pairs through worker Verifiers.
+
+Verification is embarrassingly parallel — each candidate pair's outcome
+depends only on its two trees and ``tau`` — so *every* join method (PartSJ
+and all four baselines) can hand its candidate list to
+:func:`parallel_verify` and get back exactly the pairs and exact distances
+a serial :class:`~repro.baselines.common.Verifier` would produce.  The
+method-specific filter configuration (which bag bounds the candidate
+screen already applied, whether the traversal bound is redundant) travels
+as the ``options`` dict, which is passed verbatim to each worker's
+``Verifier``.
+
+Pairs are sorted into canonical order and cut into
+``workers * CHUNKS_PER_WORKER`` chunks; results and counters merge
+deterministically because per-pair outcomes are independent of batching.
+The returned ``verify_time`` is the **sum of worker CPU seconds** (the
+comparable quantity to a serial run's ``verify_time``);
+``verify_wall_time`` in the stats dict is the elapsed stage time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.baselines.common import JoinPair, Verifier
+from repro.errors import InvalidParameterError
+from repro.parallel import worker as _worker
+from repro.tree.node import Tree
+
+__all__ = ["CHUNKS_PER_WORKER", "chunk_pairs", "parallel_verify"]
+
+# Chunks per worker: >1 so a chunk of expensive pairs (big trees, tight
+# DPs) doesn't serialize the stage behind one process, small enough that
+# per-chunk dispatch overhead stays negligible.
+CHUNKS_PER_WORKER = 4
+
+_ZERO_STATS = {
+    "ted_calls": 0,
+    "verify_time": 0.0,
+    "lb_filtered": 0,
+    "ub_accepted": 0,
+    "ted_early_exits": 0,
+    "verify_chunks": 0,
+    "verify_wall_time": 0.0,
+}
+
+
+def chunk_pairs(
+    pairs: Sequence[tuple[int, int]],
+    workers: int,
+    chunks_per_worker: int = CHUNKS_PER_WORKER,
+) -> list[tuple[tuple[int, int], ...]]:
+    """Cut ``pairs`` into at most ``workers * chunks_per_worker`` batches.
+
+    Contiguous slicing of the (caller-ordered) pair list; every pair lands
+    in exactly one chunk and empty chunks are never produced.
+    """
+    if workers < 1:
+        raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+    if not pairs:
+        return []
+    chunk_count = min(len(pairs), max(1, workers * chunks_per_worker))
+    size, leftover = divmod(len(pairs), chunk_count)
+    chunks: list[tuple[tuple[int, int], ...]] = []
+    cursor = 0
+    for k in range(chunk_count):
+        step = size + (1 if k < leftover else 0)
+        chunks.append(tuple(pairs[cursor:cursor + step]))
+        cursor += step
+    return chunks
+
+
+def _merge_chunk_results(
+    outcomes: Sequence[tuple[list[tuple[int, int, int]], dict]],
+    chunk_count: int,
+    wall_time: float,
+) -> tuple[list[JoinPair], dict]:
+    pairs = [
+        JoinPair(i, j, distance)
+        for accepted, _ in outcomes
+        for (i, j, distance) in accepted
+    ]
+    pairs.sort(key=lambda p: p.key())
+    stats = dict(_ZERO_STATS)
+    for _, delta in outcomes:
+        for key in ("ted_calls", "lb_filtered", "ub_accepted", "ted_early_exits"):
+            stats[key] += delta[key]
+        stats["verify_time"] += delta["verify_time"]
+    stats["verify_chunks"] = chunk_count
+    stats["verify_wall_time"] = wall_time
+    return pairs, stats
+
+
+def parallel_verify(
+    trees: Sequence[Tree],
+    tau: int,
+    pairs: Sequence[tuple[int, int]],
+    workers: int,
+    options: Optional[dict] = None,
+    pool=None,
+) -> tuple[list[JoinPair], dict]:
+    """Verify candidate ``(i, j)`` pairs across worker processes.
+
+    Parameters
+    ----------
+    trees:
+        The full collection (workers receive it once, as bracket strings).
+    tau:
+        The join threshold.
+    pairs:
+        Candidate pairs of original indices, any orientation; duplicates
+        (either orientation) are verified once.
+    workers:
+        Worker process count; ``1`` verifies inline with no pool at all.
+    options:
+        Keyword arguments for each worker's ``Verifier`` (e.g.
+        ``{"traversal_bound": False}`` for the STR join).
+    pool:
+        An existing ``multiprocessing`` pool whose workers were
+        initialized with :func:`repro.parallel.worker.init_worker` (the
+        sharded executor shares its candidate-stage pool); when omitted a
+        dedicated pool is created and torn down.
+
+    Returns the accepted :class:`JoinPair` list in canonical order plus a
+    stats dict (``ted_calls`` / ``verify_time`` / ``lb_filtered`` /
+    ``ub_accepted`` / ``ted_early_exits`` / ``verify_chunks`` /
+    ``verify_wall_time``).
+    """
+    started = time.perf_counter()
+    # Canonicalize: one orientation per pair, deterministic chunk layout
+    # regardless of how many shards (or which method) produced the list.
+    ordered = sorted({(i, j) if i < j else (j, i) for i, j in pairs})
+    if not ordered:
+        return [], dict(_ZERO_STATS)
+
+    if workers <= 1 and pool is None:
+        # Serial fallback: same engine, in-process, no bracket round-trip.
+        verifier = Verifier(trees, tau, **(options or {}))
+        accepted = []
+        for i, j in ordered:
+            distance = verifier.verify(i, j)
+            if distance is not None:
+                accepted.append((i, j, distance))
+        outcome = (accepted, {"verify_time": verifier.stats_time,
+                              "ted_calls": verifier.stats_ted_calls,
+                              **verifier.extra_stats()})
+        return _merge_chunk_results([outcome], 1, time.perf_counter() - started)
+
+    chunks = chunk_pairs(ordered, workers)
+    if pool is not None:
+        outcomes = pool.map(_worker.verify_chunk, chunks)
+    else:
+        from repro.parallel.executor import open_pool
+
+        with open_pool(trees, tau, workers, verifier_options=options) as owned:
+            outcomes = owned.map(_worker.verify_chunk, chunks)
+    return _merge_chunk_results(
+        outcomes, len(chunks), time.perf_counter() - started
+    )

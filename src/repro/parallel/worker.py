@@ -1,0 +1,175 @@
+"""Per-process state and task functions for the parallel join workers.
+
+Worker processes receive the collection **once**, through the pool
+initializer, as bracket-notation strings (compact, picklable, and
+identical under fork and spawn start methods); trees are re-parsed lazily
+— a candidate-generation worker only ever materializes its shard plus
+handoff band, a verification worker only the trees named by its pair
+chunks.  Task payloads then stay small: a :class:`~.sharding.ShardPlan`
+going in, a :class:`~.sharding.ShardResult` (or verified chunk) coming
+back.
+
+The verification engine (:class:`repro.baselines.common.Verifier`) is
+created once per process on first use and kept for the rest of the pool's
+life, so its per-tree annotation and feature caches amortize across
+chunks exactly as they do across candidates in a serial run.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.baselines.common import Verifier
+from repro.core.join import PartSJConfig, ShardDriver
+from repro.parallel.sharding import ShardPlan, ShardResult
+from repro.tree.bracket import parse_bracket
+from repro.tree.node import Tree
+
+__all__ = [
+    "LazyTreeList",
+    "init_worker",
+    "run_shard",
+    "verify_chunk",
+]
+
+
+class LazyTreeList(Sequence):
+    """A tree collection parsed on demand from bracket strings.
+
+    Quacks enough like ``Sequence[Tree]`` for :class:`ShardDriver` and
+    :class:`Verifier`, which only ever index by integer; a worker thus
+    pays parsing cost only for the trees its tasks actually touch.
+    """
+
+    __slots__ = ("_brackets", "_trees")
+
+    def __init__(self, brackets: Sequence[str]):
+        self._brackets = brackets
+        self._trees: list[Optional[Tree]] = [None] * len(brackets)
+
+    def __len__(self) -> int:
+        return len(self._brackets)
+
+    def __getitem__(self, index: int) -> Tree:
+        if not isinstance(index, int):
+            raise TypeError("LazyTreeList supports integer indexing only")
+        tree = self._trees[index]
+        if tree is None:
+            tree = self._trees[index] = parse_bracket(self._brackets[index])
+        return tree
+
+
+class _WorkerState:
+    """Everything a worker process holds between tasks."""
+
+    def __init__(
+        self,
+        brackets: Sequence[str],
+        tau: int,
+        config: Optional[PartSJConfig],
+        verifier_options: Optional[dict],
+    ):
+        self.trees = LazyTreeList(brackets)
+        self.tau = tau
+        self.config = config
+        self.verifier_options = verifier_options or {}
+        self._verifier: Optional[Verifier] = None
+
+    @property
+    def verifier(self) -> Verifier:
+        if self._verifier is None:
+            self._verifier = Verifier(self.trees, self.tau, **self.verifier_options)
+        return self._verifier
+
+
+_STATE: Optional[_WorkerState] = None
+
+
+def init_worker(
+    brackets: Sequence[str],
+    tau: int,
+    config: Optional[PartSJConfig] = None,
+    verifier_options: Optional[dict] = None,
+) -> None:
+    """Pool initializer: install the collection in this worker process."""
+    global _STATE
+    _STATE = _WorkerState(brackets, tau, config, verifier_options)
+
+
+def _require_state() -> _WorkerState:
+    if _STATE is None:  # pragma: no cover - misuse guard
+        raise RuntimeError(
+            "worker state not initialized; the pool must be created with "
+            "initializer=init_worker"
+        )
+    return _STATE
+
+
+def run_shard(plan: ShardPlan) -> ShardResult:
+    """Candidate generation for one shard (runs inside a worker process).
+
+    Band trees are insert-only and strictly precede the owned trees in
+    the sorted order, so one linear pass over ``band`` then ``owned``
+    reproduces the serial loop's state for every owned probe (the
+    handoff-band invariant of :mod:`repro.core.join`).
+    """
+    state = _require_state()
+    started = time.perf_counter()
+    driver = ShardDriver(state.trees, state.tau, state.config)
+    for i in plan.band:
+        driver.insert_only(i)
+    candidates: list[tuple[int, int]] = []
+    for i in plan.owned:
+        for j in driver.probe(i):
+            candidates.append((i, j))
+        driver.insert(i)
+    return ShardResult(
+        shard_id=plan.shard_id,
+        candidates=candidates,
+        counters=driver.counters.as_dict(),
+        probe_time=driver.probe_time,
+        index_time=driver.index_time,
+        band_time=driver.band_time,
+        wall_time=time.perf_counter() - started,
+        indexed_subgraphs=driver.index.total_subgraphs,
+        index_entries=driver.index.total_entries,
+        owned_count=len(plan.owned),
+        band_count=len(plan.band),
+        lo=plan.lo,
+        hi=plan.hi,
+    )
+
+
+def verify_chunk(
+    chunk: Sequence[tuple[int, int]],
+) -> tuple[list[tuple[int, int, int]], dict]:
+    """Verify one batch of candidate pairs (runs inside a worker process).
+
+    Returns the accepted ``(i, j, distance)`` triples (``i < j``) and the
+    chunk's verification-stat deltas; per-pair outcomes are independent of
+    batching, so any chunking of the same pair set merges to identical
+    totals.
+    """
+    state = _require_state()
+    verifier = state.verifier
+    calls_before = verifier.stats_ted_calls
+    time_before = verifier.stats_time
+    lb_before = verifier.stats_lb_filtered
+    ub_before = verifier.stats_ub_accepted
+    early_before = verifier.stats_ted_early_exits
+    accepted: list[tuple[int, int, int]] = []
+    for i, j in chunk:
+        distance = verifier.verify(i, j)
+        if distance is not None:
+            lo, hi = (i, j) if i < j else (j, i)
+            accepted.append((lo, hi, distance))
+    stats = {
+        "ted_calls": verifier.stats_ted_calls - calls_before,
+        "verify_time": verifier.stats_time - time_before,
+        "lb_filtered": verifier.stats_lb_filtered - lb_before,
+        "ub_accepted": verifier.stats_ub_accepted - ub_before,
+        "ted_early_exits": verifier.stats_ted_early_exits - early_before,
+    }
+    return accepted, stats
