@@ -126,3 +126,32 @@ def save_and_print(results_dir: Path, name: str, scale, text: str) -> None:
     print(text)
     path = results_dir / f"{name}_{scale.name}.txt"
     path.write_text(text, encoding="utf-8")
+
+
+# Trees per scale for the streaming-ingestion benchmark
+# (bench_stream_ingest.py).  Mixed-size clusters at a moderate average
+# size: big enough that candidate generation and verification both
+# register, small enough that the CI smoke guard (streaming overhead vs
+# batch) finishes in seconds.  The BENCH_PR4.json snapshot is recorded on
+# this exact definition (smoke count); regenerate it when changing this.
+STREAM_WORKLOAD_COUNTS = {"smoke": 300, "small": 500, "medium": 800}
+STREAM_WORKLOAD_SHAPE = dict(
+    avg_size=80, max_fanout=4, max_depth=6, cluster_size=8, decay=0.03
+)
+STREAM_WORKLOAD_SEED = 1105
+
+
+def make_stream_workload(count: int):
+    """The standard streaming-ingestion workload at a given tree count."""
+    from repro.datasets.synthetic import SyntheticParams, generate_forest
+
+    return generate_forest(
+        count, SyntheticParams(**STREAM_WORKLOAD_SHAPE),
+        seed=STREAM_WORKLOAD_SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def stream_workload(scale):
+    """Clustered synthetic trees for the streaming-ingestion benchmark."""
+    return make_stream_workload(STREAM_WORKLOAD_COUNTS.get(scale.name, 300))

@@ -22,7 +22,7 @@ results, including two filter-correctness findings about the published
 pruning scheme.
 """
 
-from repro.api import JOIN_METHODS, similarity_join
+from repro.api import JOIN_METHODS, similarity_join, stream_join
 from repro.baselines import (
     JoinPair,
     JoinResult,
@@ -58,6 +58,7 @@ from repro.errors import (
 )
 from repro.rsjoin import similarity_join_rs
 from repro.search import SearchHit, SimilaritySearcher, similarity_search
+from repro.stream import StreamingJoin, StreamJoinService, StreamStats
 from repro.ted import ted, ted_within
 from repro.tree import Tree, TreeNode, collection_stats, tree_stats
 
@@ -76,6 +77,10 @@ __all__ = [
     # joins
     "similarity_join",
     "similarity_join_rs",
+    "stream_join",
+    "StreamingJoin",
+    "StreamJoinService",
+    "StreamStats",
     "JOIN_METHODS",
     "partsj_join",
     "PartSJConfig",

@@ -3,15 +3,17 @@
 ``similarity_join(trees, tau, method=...)`` dispatches to the method
 registry; library users who just want "the fast one" can ignore everything
 else and call it with the defaults (PartSJ with the provably-exact filter
-configuration).
+configuration).  ``stream_join(trees, tau)`` is the incremental
+counterpart: it consumes any iterable (including a generator that is
+still producing) and yields verified pairs as they are found.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
-from repro.baselines.common import JoinResult
+from repro.baselines.common import JoinPair, JoinResult
 from repro.baselines.histogram_join import histogram_join
 from repro.baselines.nested_loop import nested_loop_join
 from repro.baselines.set_join import set_join
@@ -20,7 +22,7 @@ from repro.core.join import PartSJConfig, partsj_join
 from repro.errors import InvalidParameterError
 from repro.tree.node import Tree
 
-__all__ = ["similarity_join", "JOIN_METHODS"]
+__all__ = ["similarity_join", "stream_join", "JOIN_METHODS"]
 
 
 def _partsj(trees: Sequence[Tree], tau: int, **options) -> JoinResult:
@@ -102,6 +104,72 @@ def similarity_join(
     if workers != 1:
         options["workers"] = workers
     return impl(trees, tau, **options)
+
+
+def stream_join(
+    trees: Iterable[Tree],
+    tau: int,
+    config: Optional[PartSJConfig] = None,
+    workers: int = 1,
+    micro_batch: int = 1,
+) -> Iterator[JoinPair]:
+    """Incremental similarity self-join over a stream of trees.
+
+    Consumes ``trees`` lazily — an exhausted list, a generator still
+    reading from disk, a socket — and yields verified
+    :class:`~repro.baselines.common.JoinPair` objects **as they are
+    found**, where pair indices are arrival positions.  When the iterable
+    is exhausted (and pending verification drained), the yielded pairs
+    are exactly those of ``similarity_join(list(trees), tau)`` — and the
+    same holds at every intermediate flush point, so a consumer can stop
+    early with a correct join of the prefix it has seen.
+
+    Parameters
+    ----------
+    trees:
+        The arriving collection, in arrival order.
+    tau:
+        The TED threshold.
+    config:
+        PartSJ filter configuration (defaults to the provably-exact one).
+    workers:
+        ``1`` verifies inline (each yielded pair involves the most recent
+        arrival); ``> 1`` verifies in a background pool, so pairs may be
+        yielded a few arrivals after both their trees were ingested.
+    micro_batch:
+        Ingest this many trees between yield points (``>= 1``).  Larger
+        batches amortize per-arrival overhead at the cost of result
+        latency.
+
+    >>> from repro.tree.node import Tree
+    >>> trees = [Tree.from_bracket(s) for s in ("{a{b}{c}}", "{a{b}}", "{x{y}}")]
+    >>> [(p.i, p.j) for p in stream_join(iter(trees), 1)]
+    [(0, 1)]
+    """
+    if micro_batch < 1:
+        raise InvalidParameterError(
+            f"micro_batch must be >= 1, got {micro_batch}"
+        )
+    if tau < 0:
+        raise InvalidParameterError(f"tau must be >= 0, got {tau}")
+    return _stream_join(trees, tau, config, workers, micro_batch)
+
+
+def _stream_join(trees, tau, config, workers, micro_batch):
+    # The generator half of stream_join: the eager wrapper above raises
+    # parameter errors at call time, not at the first next().
+    from repro.stream.engine import StreamingJoin
+
+    with StreamingJoin(tau, config=config, workers=workers) as join:
+        batch: list[Tree] = []
+        for tree in trees:
+            batch.append(tree)
+            if len(batch) >= micro_batch:
+                yield from join.add_many(batch)
+                batch.clear()
+        if batch:
+            yield from join.add_many(batch)
+        yield from join.flush()
 
 
 def join_methods() -> list[str]:

@@ -18,7 +18,7 @@ from repro.core.join import PartSJConfig
 from repro.errors import InvalidParameterError
 from repro.tree.node import Tree
 
-__all__ = ["CellResult", "run_cell", "run_grid", "METHOD_LABELS"]
+__all__ = ["CellResult", "run_cell", "run_stream_cell", "run_grid", "METHOD_LABELS"]
 
 # Figure series names used by the paper, mapped to registry method names.
 METHOD_LABELS = {
@@ -130,6 +130,63 @@ def run_cell(
         index_time=stats.index_time,
         workers=workers,
         extra=dict(stats.extra),
+    )
+
+
+def run_stream_cell(
+    experiment: str,
+    dataset: str,
+    trees: Sequence[Tree],
+    tau: int,
+    x_name: str,
+    x_value: object,
+    partsj_config: Optional[PartSJConfig] = None,
+    workers: int = 1,
+) -> CellResult:
+    """Execute the streaming engine on one workload, fed in arrival order.
+
+    The streaming counterpart of :func:`run_cell` (series name ``PRT-S``):
+    the trees are ingested one at a time through
+    :class:`repro.stream.StreamingJoin` and the cell records, besides the
+    batch-comparable phase metrics, the streaming-specific columns in
+    ``extra`` — ``ingest_rate`` (trees per second of ingest wall time)
+    and ``time_to_first_result`` (seconds until the first verified pair,
+    ``None`` when the join is empty) — which
+    :func:`repro.bench.reporting.stream_table` renders.
+    """
+    from repro.stream import StreamingJoin
+
+    started = time.perf_counter()
+    first: Optional[float] = None
+    with StreamingJoin(tau, config=partsj_config, workers=workers) as join:
+        for tree in trees:
+            if join.add(tree) and first is None:
+                first = time.perf_counter() - started
+        if join.flush() and first is None:
+            first = time.perf_counter() - started
+        wall = time.perf_counter() - started
+        stats = join.stats()
+        results = len(join.results())
+    extra = dict(stats.extra)
+    extra["ingest_rate"] = round(stats.ingest_rate, 1)
+    extra["time_to_first_result"] = (
+        round(first, 4) if first is not None else None
+    )
+    extra["reverse_candidates"] = stats.reverse_candidates
+    return CellResult(
+        experiment=experiment,
+        dataset=dataset,
+        method="PRT-S",
+        x_name=x_name,
+        x_value=x_value,
+        candidate_time=stats.ingest_time,
+        verify_time=stats.verify_time,
+        candidates=stats.candidates,
+        results=results,
+        ted_calls=extra.get("ted_calls", 0),
+        wall_time=wall,
+        workers=workers,
+        extra=extra,
     )
 
 

@@ -3,11 +3,27 @@
 Subcommands
 -----------
 - ``generate``   — write a dataset file (synthetic or realistic simulator).
-- ``stats``      — shape statistics of a dataset file, paper-style.
-- ``join``       — run a similarity self-join over a dataset file.
+- ``stats``      — shape statistics of a dataset file, paper-style
+  (``--stream`` ingests stdin incrementally and reports ingest statistics).
+- ``join``       — run a similarity self-join over a dataset file
+  (``--stream`` joins trees arriving on stdin, emitting pairs as they
+  verify).
 - ``search``     — similarity search of one query tree in a dataset file.
 - ``ted``        — tree edit distance between two bracket-notation trees.
 - ``experiment`` — run one of the paper's figure reproductions.
+
+Streaming stdin format (``join --stream`` / ``stats --stream``)
+---------------------------------------------------------------
+One tree per line.  With ``--format brackets`` (the default), each line
+is a bracket-notation tree, e.g. ``{a{b}{c{d}}}``; blank lines and lines
+starting with ``#`` are skipped.  With ``--format ndjson``, each line is
+a JSON object with the bracket string under the ``"tree"`` key, e.g.
+``{"tree": "{a{b}}"}`` (other keys are ignored).  Pairs are printed as
+``i<TAB>j<TAB>distance`` the moment they verify, where ``i < j`` are
+0-based arrival positions; ``--json`` switches to NDJSON events
+(``{"pair": [i, j, distance]}`` per result, one final
+``{"stats": {...}}`` line with ingest rate, index size and
+pending-verification depth).
 """
 
 from __future__ import annotations
@@ -25,7 +41,7 @@ from repro.core.join import PartSJConfig
 from repro.datasets.io import load_trees, save_trees
 from repro.datasets.realistic import DATASET_GENERATORS
 from repro.datasets.synthetic import SyntheticParams, generate_forest
-from repro.errors import ReproError
+from repro.errors import InvalidParameterError, ReproError, TreeFormatError
 from repro.search import similarity_search
 from repro.ted.api import TED_ALGORITHMS, ted
 from repro.tree.bracket import parse_bracket
@@ -56,11 +72,39 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--decay", type=float, default=0.05, help="synthetic: Dz")
 
     stats = commands.add_parser("stats", help="dataset shape statistics")
-    stats.add_argument("input", help="dataset file")
+    stats.add_argument("input", nargs="?", default=None,
+                       help="dataset file (omit with --stream)")
+    stats.add_argument("--stream", action="store_true",
+                       help="ingest trees from stdin incrementally and report "
+                            "ingest rate / index size (see the module help "
+                            "for the line format)")
+    stats.add_argument("--tau", type=int, default=1,
+                       help="streaming: threshold the incremental index is "
+                            "built for (default 1)")
+    stats.add_argument("--format", default="brackets",
+                       choices=["brackets", "ndjson"],
+                       help="streaming: stdin line format")
 
-    join = commands.add_parser("join", help="similarity self-join")
-    join.add_argument("input", help="dataset file")
+    join = commands.add_parser(
+        "join", help="similarity self-join",
+        description="Similarity self-join of a dataset file, or — with "
+                    "--stream — of trees arriving on stdin: one bracket "
+                    "tree per line (--format brackets, default) or one "
+                    'JSON object {"tree": "<bracket>"} per line '
+                    "(--format ndjson).  Streamed result pairs are "
+                    "emitted as soon as they verify.",
+    )
+    join.add_argument("input", nargs="?", default=None,
+                      help="dataset file (omit with --stream)")
     join.add_argument("--tau", type=int, required=True)
+    join.add_argument("--stream", action="store_true",
+                      help="read trees from stdin incrementally, emitting "
+                           "pairs as they verify (partsj only)")
+    join.add_argument("--format", default="brackets",
+                      choices=["brackets", "ndjson"],
+                      help="streaming: stdin line format")
+    join.add_argument("--micro-batch", type=int, default=1,
+                      help="streaming: trees ingested between flush points")
     join.add_argument("--method", default="partsj",
                       choices=["partsj", "str", "set", "histogram", "nested_loop"])
     join.add_argument("--semantics", default="safe", choices=["safe", "paper"],
@@ -119,7 +163,76 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _iter_stream_trees(lines, fmt: str):
+    """Parse the streaming stdin format (see the module docstring)."""
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if fmt == "ndjson":
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TreeFormatError(
+                    f"stdin line {lineno}: invalid JSON ({exc})"
+                ) from None
+            if (
+                not isinstance(payload, dict)
+                or not isinstance(payload.get("tree"), str)
+            ):
+                raise TreeFormatError(
+                    f"stdin line {lineno}: expected an object with a "
+                    '"tree" key holding a bracket string'
+                )
+            line = payload["tree"]
+        yield parse_bracket(line)
+
+
+def _require_stream_input(args: argparse.Namespace) -> None:
+    if args.input not in (None, "-"):
+        raise InvalidParameterError(
+            "--stream reads from stdin; drop the dataset file argument"
+        )
+
+
+def _cmd_stats_stream(args: argparse.Namespace) -> int:
+    from repro.stream import StreamingJoin
+
+    with StreamingJoin(args.tau) as join:
+        for tree in _iter_stream_trees(sys.stdin, args.format):
+            join.add(tree)
+        stats = join.stats()
+        histogram = join.collection.size_histogram()
+    print(
+        f"streamed {stats.trees} trees at {stats.ingest_rate:.1f} trees/s "
+        f"(tau={args.tau})"
+    )
+    print(
+        f"warm index: {stats.index_entries} entries / "
+        f"{stats.index_subgraphs} subgraphs, {stats.reverse_nodes} reverse "
+        f"node keys, small pool {stats.small_pool}"
+    )
+    print(
+        f"results {stats.results}, candidates {stats.candidates} "
+        f"({stats.reverse_candidates} via reverse index), "
+        f"pending verification {stats.pending_verification}"
+    )
+    if histogram:
+        sizes = [size for size, _ in histogram]
+        peak_size, peak_count = max(histogram, key=lambda run: run[1])
+        print(
+            f"size histogram: {len(histogram)} distinct sizes in "
+            f"[{sizes[0]}, {sizes[-1]}], mode {peak_size} ({peak_count} trees)"
+        )
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.stream:
+        _require_stream_input(args)
+        return _cmd_stats_stream(args)
+    if args.input is None:
+        raise InvalidParameterError("stats needs a dataset file (or --stream)")
     trees = load_trees(args.input)
     print(collection_stats(trees).describe())
     histogram = SizeSortedCollection(trees).size_histogram()
@@ -132,7 +245,65 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_join_stream(args: argparse.Namespace) -> int:
+    from repro.stream import StreamingJoin
+
+    if args.method != "partsj":
+        raise InvalidParameterError(
+            "--stream supports the partsj method only (every method returns "
+            "the same pairs; run the stream through partsj)"
+        )
+    if args.micro_batch < 1:
+        raise InvalidParameterError(
+            f"--micro-batch must be >= 1, got {args.micro_batch}"
+        )
+    config = PartSJConfig(
+        semantics=args.semantics, postorder_filter=args.postorder_filter
+    )
+    emitted = 0
+
+    def emit(pairs) -> None:
+        nonlocal emitted
+        for pair in pairs:
+            emitted += 1
+            if args.json:
+                print(json.dumps(
+                    {"pair": [pair.i, pair.j, pair.distance]}, sort_keys=True
+                ), flush=True)
+            else:
+                print(f"{pair.i}\t{pair.j}\t{pair.distance}", flush=True)
+
+    with StreamingJoin(args.tau, config=config, workers=args.workers) as join:
+        batch = []
+        for tree in _iter_stream_trees(sys.stdin, args.format):
+            batch.append(tree)
+            if len(batch) >= args.micro_batch:
+                emit(join.add_many(batch))
+                batch.clear()
+        if batch:
+            emit(join.add_many(batch))
+        emit(join.flush())
+        stats = join.stats()
+    if args.json:
+        print(json.dumps({"stats": stats.as_dict()}, sort_keys=True))
+    else:
+        print(
+            f"# streamed {stats.trees} trees, {emitted} pairs, "
+            f"{stats.candidates} candidates, "
+            f"{stats.ingest_rate:.1f} trees/s ingest, "
+            f"index {stats.index_entries} entries, "
+            f"pending {stats.pending_verification}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
+    if args.stream:
+        _require_stream_input(args)
+        return _cmd_join_stream(args)
+    if args.input is None:
+        raise InvalidParameterError("join needs a dataset file (or --stream)")
     trees = load_trees(args.input)
     options = {}
     if args.method == "partsj":

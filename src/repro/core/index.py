@@ -24,11 +24,39 @@ layers of the paper are materialized as:
 Storing each subgraph once — instead of under every integer key in
 ``[p_k - Delta', p_k + Delta']`` — cuts index memory and insert work by a
 factor of ``2*tau + 1`` and makes the number of stored entries
-independent of ``tau`` (see :attr:`TwoLayerIndex.entry_count`).  Buckets
-sort lazily on first probe after an insert, so the alternating
-probe/insert pattern of Algorithm 1 pays one ``O(k log k)`` sort per
-touched bucket per tree, amortized, rather than ``O(k)`` shifting per
-insert.
+independent of ``tau`` (see :attr:`TwoLayerIndex.entry_count`).
+
+Mutation invariants
+-------------------
+The index is built for *interleaved* probing and insertion — the batch
+join alternates the two per tree, and the streaming engine
+(:mod:`repro.stream`) keeps one index alive indefinitely while trees
+keep arriving.  Four invariants make that safe:
+
+1. **Append-only buckets, lazily sorted.**  Inserts append to a bucket
+   and mark it dirty; the ``O(k log k)`` re-sort (and the mirrored
+   ``posts`` bisection array) happens on the bucket's next probe, never
+   eagerly.  The alternating pattern thus pays one amortized sort per
+   touched bucket per tree rather than ``O(k)`` shifting per insert, and
+   a probe always observes every earlier insert.
+2. **Shared bucket objects in the merged view.**  ``InvertedSizeIndex``
+   maintains ``merged: twig_key -> {size: bucket}`` pointing at the
+   *same* bucket objects as the per-size indexes — an insert through
+   :meth:`InvertedSizeIndex.insert_all` is immediately visible through
+   both access paths, with no copy to refresh.
+3. **Append-only label ids.**  Packed twig keys embed interned label ids
+   (:mod:`repro.core.intern`); the interner never reassigns an id, so a
+   key filed in a bucket remains probe-able forever regardless of how
+   many new labels later trees introduce.  A label first seen *after* a
+   subgraph was filed gets a fresh id, whose packed keys cannot collide
+   with any stored key.
+4. **Monotone statistics.**  ``count`` / ``entry_count`` /
+   ``total_subgraphs`` / ``total_entries`` only grow, so a streaming
+   consumer may publish them mid-ingest without tearing.
+
+Nothing is ever deleted or rewritten in place; a probe running between
+two inserts sees exactly the prefix of insertions that completed, which
+is what makes the warm-index search service sound.
 
 A probe for node ``N`` (postorder number ``p``, packed twig keys of the
 at most four search twigs ``(l,ll,lr)``, ``(l,ll,eps)``, ``(l,eps,lr)``,
@@ -53,10 +81,28 @@ __all__ = [
     "PostorderFilter",
     "TwoLayerIndex",
     "InvertedSizeIndex",
+    "postorder_half_width",
     "probe_all_packed",
 ]
 
 _entry_postorder = itemgetter(0)
+
+
+def postorder_half_width(
+    postorder_filter: "PostorderFilter", tau: int, rank: int
+) -> int:
+    """Half-width ``Delta'`` of a subgraph's postorder window.
+
+    One source of truth for the window rule, shared by the forward index
+    (:meth:`TwoLayerIndex.window`) and the streaming reverse index
+    (:class:`repro.stream.reverse.NodeTwigIndex`), which applies the same
+    window from the subgraph side: ``tau - floor(rank / 2)`` under the
+    published ``PAPER`` rule, ``tau`` under the provably-safe default,
+    and unused (``0``) when the layer is ``OFF``.
+    """
+    if postorder_filter is PostorderFilter.PAPER:
+        return max(0, tau - rank // 2)
+    return tau
 
 
 class PostorderFilter(enum.Enum):
@@ -117,9 +163,8 @@ class TwoLayerIndex:
 
     def window(self, subgraph: Subgraph) -> int:
         """The half-width ``Delta'`` of ``subgraph``'s postorder window."""
-        if self.postorder_filter is PostorderFilter.PAPER:
-            return max(0, self.tau - subgraph.rank // 2)
-        return self.tau  # SAFE; unused for OFF
+        # SAFE -> tau; unused for OFF.
+        return postorder_half_width(self.postorder_filter, self.tau, subgraph.rank)
 
     def insert(self, subgraph: Subgraph) -> _TwigBucket:
         """File ``subgraph`` once under its packed twig key."""

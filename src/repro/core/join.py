@@ -229,9 +229,23 @@ class ShardDriver:
       can find it, and counted separately (``band_trees`` /
       ``band_subgraphs``) so the owned-tree counters merge to the exact
       serial values.
+    - :meth:`ingest` is the incremental probe-then-insert entry point the
+      serial loop, the shard workers and the streaming engine
+      (:mod:`repro.stream`) all share: one call runs both phases for one
+      tree and hands back the candidates plus the partition subgraphs.
 
     The serial join is the one-shard special case: every tree is owned,
     the band is empty.
+
+    Feeding order: ascending size order makes the driver *complete* on
+    its own (every partner of a probing tree is already indexed — the
+    batch invariant above).  The probe/insert machinery itself is
+    order-agnostic: a tree arriving out of order still probes exactly
+    the index sizes ``[|Ti| - tau, |Ti|]`` and still files its partition
+    under its own size, which is what the streaming engine relies on —
+    it pairs the driver with a reverse index
+    (:class:`repro.stream.reverse.NodeTwigIndex`) to cover partners
+    larger than a late-arriving tree.
     """
 
     def __init__(
@@ -284,10 +298,13 @@ class ShardDriver:
             counters.small_trees += 1
 
         # Small-pool partners: only relevant while |Ti| - tau can reach the
-        # pool's size range [1, 2*tau].
+        # pool's size range [1, 2*tau].  The upper guard is vacuous in a
+        # batch run (ascending order means pool trees are never larger)
+        # but keeps the scan exact when the streaming engine feeds trees
+        # out of size order.
         if self.small_pool and n - tau <= 2 * tau:
             for j, size_j in self.small_pool:
-                if size_j >= n - tau:
+                if n - tau <= size_j <= n + tau:
                     key = (j, i) if j < i else (i, j)
                     if key not in checked:
                         checked.add(key)
@@ -298,8 +315,15 @@ class ShardDriver:
         self.probe_time += time.perf_counter() - start
         return candidates
 
-    def insert(self, i: int) -> None:
-        """Insert phase for tree ``i``; must follow ``probe(i)``."""
+    def insert(self, i: int) -> Optional[list]:
+        """Insert phase for tree ``i``; must follow ``probe(i)``.
+
+        Returns the partition subgraphs just filed in the index, or
+        ``None`` when the tree went to the small pool instead.  (The
+        streaming engine registers the subgraphs — and their shared
+        :class:`TreeCache` — in its reverse index; batch callers ignore
+        the return value.)
+        """
         if self._probed_index != i:
             raise InvalidParameterError(
                 f"insert({i}) must follow probe({i}); last probed: "
@@ -313,10 +337,28 @@ class ShardDriver:
             self.counters.partitioned_trees += 1
             self.counters.subgraphs_built += len(subgraphs)
         else:
+            subgraphs = None
             self.small_pool.append((i, self.trees[i].size))
         self._probed_index = None
         self._probed_cache = None
         self.index_time += time.perf_counter() - start
+        return subgraphs
+
+    def ingest(self, i: int) -> tuple[list[int], Optional[list]]:
+        """Probe-then-insert for tree ``i`` in one call.
+
+        The incremental entry point shared by the serial loop, the shard
+        workers (:func:`repro.parallel.worker.run_shard`) and the
+        streaming engine (:class:`repro.stream.StreamingJoin`): returns
+        ``(candidates, subgraphs)`` where ``candidates`` are the probe
+        phase's partner indices and ``subgraphs`` is the partition filed
+        by the insert phase (``None`` for small-pool trees).
+        Verification of the candidates is independent of the insert, so
+        callers are free to verify inline, defer to a pool, or stream.
+        """
+        candidates = self.probe(i)
+        subgraphs = self.insert(i)
+        return candidates, subgraphs
 
     def insert_only(self, i: int) -> None:
         """Index a handoff-band tree without probing it (sharded executor).
@@ -396,7 +438,8 @@ def partsj_join(
 
     for position in range(len(collection)):
         i = collection.original_index(position)
-        candidates = driver.probe(i)
+        # Probe + insert through the shared incremental entry point.
+        candidates, _ = driver.ingest(i)
 
         # Verification (the "TED computation" phase of Figures 10/12/14).
         stats.candidates += len(candidates)
@@ -405,9 +448,6 @@ def partsj_join(
             if distance is not None:
                 lo, hi = (i, j) if i < j else (j, i)
                 pairs.append(JoinPair(lo, hi, distance))
-
-        # Insert phase: partition Ti and file its subgraphs.
-        driver.insert(i)
 
     stats.probe_time = driver.probe_time
     stats.index_time = driver.index_time

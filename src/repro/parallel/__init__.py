@@ -9,25 +9,39 @@ results bit-identical to the serial engine:
 - :mod:`~repro.parallel.executor` — pool lifecycle, the two-stage
   candidate-generation + verification run, deterministic stats merge;
 - :mod:`~repro.parallel.verify_pool` — chunked parallel verification
-  usable by every join method, not just PartSJ;
+  usable by every join method, not just PartSJ, plus the background
+  ``StreamVerifyPool`` the streaming engine hands its candidates to;
 - :mod:`~repro.parallel.worker` — per-process state (lazily parsed
-  collection, persistent ``Verifier``) and the task functions.
+  collection, persistent ``Verifier``; for streaming, an append-only
+  ``GrowingTreeStore``) and the task functions.
+
+The streaming hooks: :class:`~repro.parallel.sharding.ShardPlanner`
+re-plans shard boundaries lazily as a growing collection's size
+histogram changes, and :class:`~repro.parallel.verify_pool.StreamVerifyPool`
+verifies streamed candidates in the background (see :mod:`repro.stream`).
 
 Entry points: ``similarity_join(..., workers=N)``,
-``PartSJConfig(workers=N)``, or the CLI's ``--workers``.
+``PartSJConfig(workers=N)``, ``StreamingJoin(..., workers=N)``, or the
+CLI's ``--workers``.
 """
 
 from repro.parallel.executor import open_pool, parallel_partsj_join
 from repro.parallel.sharding import (
     ShardPlan,
+    ShardPlanner,
     ShardResult,
     estimated_probe_cost,
     plan_shards,
 )
-from repro.parallel.verify_pool import chunk_pairs, parallel_verify
+from repro.parallel.verify_pool import (
+    StreamVerifyPool,
+    chunk_pairs,
+    parallel_verify,
+)
 
 __all__ = [
     "ShardPlan",
+    "ShardPlanner",
     "ShardResult",
     "estimated_probe_cost",
     "plan_shards",
@@ -35,4 +49,5 @@ __all__ = [
     "parallel_partsj_join",
     "chunk_pairs",
     "parallel_verify",
+    "StreamVerifyPool",
 ]

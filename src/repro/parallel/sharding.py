@@ -39,7 +39,13 @@ from repro.errors import InvalidParameterError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.baselines.common import SizeSortedCollection
 
-__all__ = ["ShardPlan", "ShardResult", "estimated_probe_cost", "plan_shards"]
+__all__ = [
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardResult",
+    "estimated_probe_cost",
+    "plan_shards",
+]
 
 
 def estimated_probe_cost(size: int, tau: int) -> int:
@@ -213,3 +219,44 @@ def plan_shards(
             )
         )
     return plans
+
+
+class ShardPlanner:
+    """Re-plan hook for a collection that grows between plans.
+
+    The streaming engine inserts trees one at a time; shard boundaries
+    computed for one prefix drift out of balance as the size histogram
+    grows.  ``ShardPlanner`` wraps :func:`plan_shards` with a per-worker-
+    count cache keyed on the collection's mutation ``version``
+    (:class:`~repro.baselines.common.SizeSortedCollection` bumps it on
+    every :meth:`~repro.baselines.common.SizeSortedCollection.insert`):
+    :meth:`plan` returns the cached plan while the collection is
+    unchanged and transparently re-plans after it has grown, so callers
+    can ask for fresh boundaries at any cadence without paying a
+    planning pass per arrival.
+    """
+
+    def __init__(self, collection: "SizeSortedCollection", tau: int):
+        if tau < 0:
+            raise InvalidParameterError(f"tau must be >= 0, got {tau}")
+        self.collection = collection
+        self.tau = tau
+        self.replans = 0  # planning passes actually executed
+        self._plans: dict[int, list[ShardPlan]] = {}
+        self._versions: dict[int, int] = {}
+
+    def plan(self, workers: int) -> list[ShardPlan]:
+        """Current shard plan for ``workers``, re-planned only when stale."""
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        version = getattr(self.collection, "version", 0)
+        if workers not in self._plans or self._versions[workers] != version:
+            self._plans[workers] = plan_shards(self.collection, self.tau, workers)
+            self._versions[workers] = version
+            self.replans += 1
+        return self._plans[workers]
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (the next :meth:`plan` re-plans)."""
+        self._plans.clear()
+        self._versions.clear()

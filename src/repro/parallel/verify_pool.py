@@ -158,3 +158,126 @@ def parallel_verify(
     return _merge_chunk_results(
         outcomes, len(chunks), time.perf_counter() - started
     )
+
+
+class StreamVerifyPool:
+    """Background verification pool for streamed candidates.
+
+    The batch pools above assume a complete collection shipped at pool
+    start; a streaming join has no such collection, so this pool ships
+    with each submission the bracket strings of exactly the trees its
+    pairs reference.  Workers keep them in a per-process append-only
+    store (:class:`repro.parallel.worker.GrowingTreeStore`) with one
+    persistent :class:`~repro.baselines.common.Verifier`, so repeatedly
+    referenced trees are parsed/annotated once per worker.
+
+    Submissions run asynchronously; :meth:`poll` collects whatever has
+    completed without blocking (the engine calls it on every arrival) and
+    :meth:`drain` blocks until the pool is idle — the streaming *flush
+    point*.  Because per-pair outcomes are independent of routing and
+    batching, the union of collected triples is identical to inline
+    verification of the same pairs, whatever the completion order.
+    """
+
+    def __init__(
+        self,
+        tau: int,
+        workers: int,
+        options: Optional[dict] = None,
+    ):
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        import multiprocessing
+
+        from repro.parallel.worker import init_stream_worker
+
+        self.tau = tau
+        self.workers = workers
+        self._pool = multiprocessing.get_context().Pool(
+            processes=workers,
+            initializer=init_stream_worker,
+            initargs=(tau, options),
+        )
+        self._inflight: list = []  # (AsyncResult, pair_count)
+        # Master-side serialization cache: trees are immutable and
+        # arrival-indexed, so a hot tree (a cluster member referenced by
+        # many later submissions) pays to_bracket() exactly once.
+        self._brackets: dict[int, str] = {}
+        self._pending_pairs = 0
+        self._chunks = 0
+        self._stats = dict(_ZERO_STATS)
+        self._closed = False
+
+    @property
+    def pending(self) -> int:
+        """Submitted-but-uncollected candidate pairs (the queue depth)."""
+        return self._pending_pairs
+
+    def submit(
+        self, pairs: Sequence[tuple[int, int]], trees: Sequence[Tree]
+    ) -> None:
+        """Queue candidate ``pairs`` for verification.
+
+        ``trees`` is the live arrival-ordered collection; only the trees
+        the pairs reference are serialized into the task payload.
+        """
+        if self._closed:
+            raise InvalidParameterError("StreamVerifyPool is closed")
+        if not pairs:
+            return
+        referenced = {index for pair in pairs for index in pair}
+        cache = self._brackets
+        for index in referenced:
+            if index not in cache:
+                cache[index] = trees[index].to_bracket()
+        brackets = {index: cache[index] for index in referenced}
+        result = self._pool.apply_async(
+            _worker.verify_stream_chunk, ((brackets, tuple(pairs)),)
+        )
+        self._inflight.append((result, len(pairs)))
+        self._pending_pairs += len(pairs)
+
+    def _collect(self, outcome: tuple) -> list[tuple[int, int, int]]:
+        accepted, delta = outcome
+        for key in ("ted_calls", "lb_filtered", "ub_accepted", "ted_early_exits"):
+            self._stats[key] += delta[key]
+        self._stats["verify_time"] += delta["verify_time"]
+        self._chunks += 1
+        return accepted
+
+    def poll(self) -> list[tuple[int, int, int]]:
+        """Accepted triples of every completed submission; never blocks."""
+        triples: list[tuple[int, int, int]] = []
+        still_inflight = []
+        for result, count in self._inflight:
+            if result.ready():
+                triples.extend(self._collect(result.get()))
+                self._pending_pairs -= count
+            else:
+                still_inflight.append((result, count))
+        self._inflight = still_inflight
+        return triples
+
+    def drain(self) -> list[tuple[int, int, int]]:
+        """Block until every submission completes; return their triples."""
+        triples: list[tuple[int, int, int]] = []
+        for result, count in self._inflight:
+            triples.extend(self._collect(result.get()))
+            self._pending_pairs -= count
+        self._inflight = []
+        return triples
+
+    def stats(self) -> dict:
+        """Accumulated verification counters of the collected chunks."""
+        stats = dict(self._stats)
+        stats["verify_chunks"] = self._chunks
+        stats.pop("verify_wall_time", None)
+        return stats
+
+    def close(self) -> None:
+        """Release the worker processes (pending work is abandoned)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.terminate()
+        self._pool.join()

@@ -30,8 +30,10 @@ from repro.tree.node import Tree
 __all__ = [
     "LazyTreeList",
     "init_worker",
+    "init_stream_worker",
     "run_shard",
     "verify_chunk",
+    "verify_stream_chunk",
 ]
 
 
@@ -122,9 +124,9 @@ def run_shard(plan: ShardPlan) -> ShardResult:
         driver.insert_only(i)
     candidates: list[tuple[int, int]] = []
     for i in plan.owned:
-        for j in driver.probe(i):
+        found, _ = driver.ingest(i)
+        for j in found:
             candidates.append((i, j))
-        driver.insert(i)
     return ShardResult(
         shard_id=plan.shard_id,
         candidates=candidates,
@@ -161,6 +163,109 @@ def verify_chunk(
     early_before = verifier.stats_ted_early_exits
     accepted: list[tuple[int, int, int]] = []
     for i, j in chunk:
+        distance = verifier.verify(i, j)
+        if distance is not None:
+            lo, hi = (i, j) if i < j else (j, i)
+            accepted.append((lo, hi, distance))
+    stats = {
+        "ted_calls": verifier.stats_ted_calls - calls_before,
+        "verify_time": verifier.stats_time - time_before,
+        "lb_filtered": verifier.stats_lb_filtered - lb_before,
+        "ub_accepted": verifier.stats_ub_accepted - ub_before,
+        "ted_early_exits": verifier.stats_ted_early_exits - early_before,
+    }
+    return accepted, stats
+
+
+# ---------------------------------------------------------------------------
+# Streaming verification workers
+# ---------------------------------------------------------------------------
+#
+# A streaming join cannot ship "the collection" through the pool
+# initializer — it does not exist yet when the pool starts.  Instead each
+# task carries the bracket strings of exactly the trees its pairs
+# reference; the worker files them in a per-process append-only store, so
+# a tree revisited by later chunks (a near-duplicate cluster member, say)
+# is parsed once and its Verifier caches stay warm for the pool's life.
+
+
+class GrowingTreeStore(Sequence):
+    """An append-only, lazily parsed tree store indexed by arrival position.
+
+    The streaming counterpart of :class:`LazyTreeList`: brackets arrive
+    incrementally (with each task) instead of all at once, and indices
+    may be sparse from any single worker's point of view — a worker only
+    ever holds the trees its own chunks referenced.
+    """
+
+    __slots__ = ("_brackets", "_trees")
+
+    def __init__(self) -> None:
+        self._brackets: dict[int, str] = {}
+        self._trees: dict[int, Tree] = {}
+
+    def update(self, brackets: dict[int, str]) -> None:
+        """File newly shipped brackets (never overwrites an earlier one)."""
+        for index, bracket in brackets.items():
+            self._brackets.setdefault(index, bracket)
+
+    def __len__(self) -> int:
+        return len(self._brackets)
+
+    def __getitem__(self, index: int) -> Tree:
+        if not isinstance(index, int):
+            raise TypeError("GrowingTreeStore supports integer indexing only")
+        tree = self._trees.get(index)
+        if tree is None:
+            tree = self._trees[index] = parse_bracket(self._brackets[index])
+        return tree
+
+
+class _StreamWorkerState:
+    """Per-process state of a streaming verification worker."""
+
+    def __init__(self, tau: int, verifier_options: Optional[dict]):
+        self.store = GrowingTreeStore()
+        self.verifier = Verifier(self.store, tau, **(verifier_options or {}))
+
+
+_STREAM_STATE: Optional[_StreamWorkerState] = None
+
+
+def init_stream_worker(tau: int, verifier_options: Optional[dict] = None) -> None:
+    """Pool initializer for streaming verification workers."""
+    global _STREAM_STATE
+    _STREAM_STATE = _StreamWorkerState(tau, verifier_options)
+
+
+def verify_stream_chunk(
+    task: tuple[dict[int, str], Sequence[tuple[int, int]]],
+) -> tuple[list[tuple[int, int, int]], dict]:
+    """Verify one streamed candidate chunk (runs inside a worker process).
+
+    ``task`` is ``(brackets, pairs)``: the bracket strings of every tree
+    the pairs reference plus the pairs themselves.  Returns the accepted
+    ``(i, j, distance)`` triples (``i < j``) and this chunk's
+    verification-stat deltas — per-pair outcomes are independent of
+    batching and of which worker ran them, so any routing of the same
+    pair set merges to results identical to inline verification.
+    """
+    if _STREAM_STATE is None:  # pragma: no cover - misuse guard
+        raise RuntimeError(
+            "stream worker state not initialized; the pool must be created "
+            "with initializer=init_stream_worker"
+        )
+    brackets, pairs = task
+    state = _STREAM_STATE
+    state.store.update(brackets)
+    verifier = state.verifier
+    calls_before = verifier.stats_ted_calls
+    time_before = verifier.stats_time
+    lb_before = verifier.stats_lb_filtered
+    ub_before = verifier.stats_ub_accepted
+    early_before = verifier.stats_ted_early_exits
+    accepted: list[tuple[int, int, int]] = []
+    for i, j in pairs:
         distance = verifier.verify(i, j)
         if distance is not None:
             lo, hi = (i, j) if i < j else (j, i)

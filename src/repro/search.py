@@ -12,6 +12,14 @@ partition against the query (Lemma 2 with the candidate as ``T_B1``).
 For one-off searches this filter pays off once the collection is reused:
 :class:`SimilaritySearcher` partitions and indexes the collection per
 ``tau`` lazily and can then serve many queries.
+
+The candidate-generation steps are factored into overridable hooks
+(``_forward_candidates`` / ``_upper_candidates`` / ``_size_window``):
+:class:`repro.stream.searcher.StreamSearcher` reuses the search loop
+verbatim over a :class:`~repro.stream.engine.StreamingJoin`'s live index
+— the warm-index service path, which additionally *filters* the
+larger-than-query side through the reverse node-twig index instead of
+this module's verify-the-window fallback.
 """
 
 from __future__ import annotations
@@ -99,45 +107,62 @@ class SimilaritySearcher:
         hi = bisect.bisect_right(self._sizes_sorted, (size + self.tau, len(self.trees)))
         return [i for _, i in self._sizes_sorted[lo:hi]]
 
-    def search(self, query: Tree) -> list[SearchHit]:
-        """All collection trees with ``TED(query, tree) <= tau``."""
-        tau = self.tau
-        semantics: MatchSemantics = self.config.semantics  # type: ignore[assignment]
-        candidates: set[int] = set()
+    def _forward_candidates(self, cache: TreeCache, candidates: set[int]) -> None:
+        """Probe the query's nodes against the indexed partitions.
 
-        cache = TreeCache(query, interner=self._interner)
+        Finds collection trees small enough that their partition must
+        leave a subgraph inside the query (``|Tj| <= |query|``, Lemma 2
+        with the collection tree as the partitioned side).
+        """
+        tau = self.tau
         n = cache.size
-        # Indexed candidates: collection trees small enough that their
-        # partition must leave a subgraph inside the query (|Tj| <= |query|).
+        semantics: MatchSemantics = self.config.semantics  # type: ignore[assignment]
         probe_sizes = [
             self._index.for_size(size)
             for size in range(max(self._min_size, n - tau), n + 1)
         ]
         probe_sizes = [idx for idx in probe_sizes if idx is not None and idx.count]
-        if probe_sizes:
-            labels, left, right = cache.labels, cache.left, cache.right
-            general = self.config.postorder_numbering == "general"
-            general_post = cache.general_post
-            strict = semantics is MatchSemantics.PAPER
-            for b in range(1, n + 1):
-                p = general_post[b] if general else b
-                child = left[b]
-                ll = labels[child] if child else 0
-                child = right[b]
-                rl = labels[child] if child else 0
-                twig_keys = search_keys(labels[b], ll, rl)
-                for subgraph in probe_all_packed(probe_sizes, p, twig_keys):
-                    if subgraph.owner in candidates:
-                        continue
-                    if subgraph.matches_at_number(cache, b, strict):
-                        candidates.add(subgraph.owner)
-        # Collection trees larger than the query (or too small to partition)
-        # cannot be pruned by the query-side probe: verify them directly.
+        if not probe_sizes:
+            return
+        labels, left, right = cache.labels, cache.left, cache.right
+        general = self.config.postorder_numbering == "general"
+        general_post = cache.general_post
+        strict = semantics is MatchSemantics.PAPER
+        for b in range(1, n + 1):
+            p = general_post[b] if general else b
+            child = left[b]
+            ll = labels[child] if child else 0
+            child = right[b]
+            rl = labels[child] if child else 0
+            twig_keys = search_keys(labels[b], ll, rl)
+            for subgraph in probe_all_packed(probe_sizes, p, twig_keys):
+                if subgraph.owner in candidates:
+                    continue
+                if subgraph.matches_at_number(cache, b, strict):
+                    candidates.add(subgraph.owner)
+
+    def _upper_candidates(self, cache: TreeCache, candidates: set[int]) -> None:
+        """Candidates the query-side probe cannot prune.
+
+        For the batch searcher these are taken unfiltered from the size
+        window: collection trees *larger* than the query (the roles of
+        Lemma 2 are reversed and this index has no reverse layer) and
+        trees too small to partition.  The streaming searcher overrides
+        this with a reverse-index filter (:mod:`repro.stream.searcher`).
+        """
+        n = cache.size
         for i in self._size_window(n):
             if self.trees[i].size > n or self.trees[i].size < self._min_size:
                 candidates.add(i)
 
-        verifier = Verifier(list(self.trees) + [query], tau)
+    def search(self, query: Tree) -> list[SearchHit]:
+        """All collection trees with ``TED(query, tree) <= tau``."""
+        candidates: set[int] = set()
+        cache = TreeCache(query, interner=self._interner)
+        self._forward_candidates(cache, candidates)
+        self._upper_candidates(cache, candidates)
+
+        verifier = Verifier(list(self.trees) + [query], self.tau)
         query_index = len(self.trees)
         hits = []
         for i in sorted(candidates):

@@ -1,0 +1,181 @@
+"""The reverse node-twig index: probing *backwards in time*, forwards in size.
+
+The batch join's two-layer index answers "which stored *subgraphs* could
+match this probing *node*?" — sound because Algorithm 1 feeds trees in
+ascending size order, so the prober is always the size-wise larger side
+and every potential partner is already partitioned and filed.
+
+A streaming join cannot rely on that order: a tree ``T`` may arrive
+*after* larger trees it is similar to.  For those pairs Lemma 2 assigns
+the roles the other way around — ``T`` (the smaller side) is the
+partitioned one, the earlier-ingested larger tree ``U`` is the prober —
+but ``U`` already ran its probe phase before ``T`` existed.
+:class:`NodeTwigIndex` answers the mirrored question, "which ingested
+*nodes* would have probed this *subgraph*?":
+
+- On ingest, every partitioned tree registers each of its nodes under the
+  node's at-most-four packed *search keys* (the epsilon-collapsed twig
+  variants of :func:`repro.core.intern.search_keys` — exactly the keys
+  that node would probe the forward index with), bucketed by tree size
+  and lazily sorted by the node's postorder number, mirroring
+  :class:`repro.core.index.TwoLayerIndex`'s bucket discipline.
+- On arrival of ``T``, each subgraph ``s`` of ``T``'s partition looks up
+  its own ``twig_key`` — by construction the set of registered
+  ``(tree, node)`` anchors under that key at size ``|U|`` within the
+  postorder window ``|p_node - p_s| <= Delta'(s)`` is *identical* to the
+  set of probes that would have hit ``s`` had ``T`` been indexed before
+  ``U`` probed.  The caller then runs the very same structural match
+  (:meth:`repro.core.subgraph.Subgraph.matches_at_number`, with the
+  ingested tree's retained :class:`~repro.core.treecache.TreeCache` as
+  the prober), so the streamed candidate set for these pairs is equal to
+  the batch join's — not merely a superset — under every filter
+  configuration, including the strict ``paper`` variants.
+
+Only partitionable trees (size ``>= 2*tau + 1``) register nodes: a
+reverse probe targets sizes strictly above the arriving tree's (which is
+itself ``>= 2*tau + 1`` when it has subgraphs to probe with), and
+small-tree partners are handled by the engine's direct small-pool scan.
+
+The same structure powers the warm searcher's upper side
+(:class:`repro.stream.searcher.StreamSearcher`): a query smaller than a
+collection tree is partitioned and reverse-probed instead of falling
+back to verify-everything-larger as the batch searcher does.
+
+Memory: four entries per node per ingested tree, plus the retained tree
+caches held by the engine — the price of serving any arrival order from
+RAM.  The spill-to-disk inverted size index tracked in ROADMAP.md is the
+follow-up for collections that outgrow it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from operator import itemgetter
+from typing import Iterator
+
+from repro.core.index import PostorderFilter
+from repro.core.intern import search_keys
+from repro.core.treecache import TreeCache
+
+__all__ = ["NodeTwigIndex"]
+
+_entry_postorder = itemgetter(0)
+
+
+class _NodeBucket:
+    """Registered nodes of one tree size sharing one packed search key.
+
+    ``entries`` holds ``(postorder, node_number, owner)`` triples;
+    ``posts`` mirrors the postorder numbers for bisection.  Inserts
+    append and mark the bucket dirty; the sort happens lazily on the
+    next reverse probe — the same amortized discipline as the forward
+    index's ``_TwigBucket``.
+    """
+
+    __slots__ = ("entries", "posts", "dirty")
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[int, int, int]] = []
+        self.posts: list[int] = []
+        self.dirty = False
+
+    def _ensure_sorted(self) -> None:
+        self.entries.sort(key=_entry_postorder)
+        self.posts = [entry[0] for entry in self.entries]
+        self.dirty = False
+
+
+class NodeTwigIndex:
+    """Nodes of ingested trees filed under their packed probe search keys.
+
+    The mirror image of :class:`repro.core.index.InvertedSizeIndex` (see
+    the module docstring): ``merged`` maps ``search_key -> {tree_size:
+    bucket}``, sharing the forward index's merged-view shape so a
+    subgraph lookup over the ``tau``-wide size band costs one dictionary
+    probe per absent key.
+    """
+
+    __slots__ = ("tau", "postorder_filter", "merged", "tree_count", "node_count")
+
+    def __init__(self, tau: int, postorder_filter: PostorderFilter | str = "safe"):
+        self.tau = tau
+        self.postorder_filter = PostorderFilter.coerce(postorder_filter)
+        self.merged: dict[int, dict[int, _NodeBucket]] = {}
+        self.tree_count = 0
+        self.node_count = 0
+
+    def insert_tree(self, cache: TreeCache, owner: int, numbering: str) -> None:
+        """Register every node of ``owner``'s tree under its search keys.
+
+        ``cache`` must be the tree's probe-side :class:`TreeCache` (the
+        one the engine retains for structural matching) and ``numbering``
+        the join's configured postorder numbering, so the registered
+        positions agree with the forward probe's.
+        """
+        n = cache.size
+        labels = cache.labels
+        left = cache.left
+        right = cache.right
+        positions = cache.general_post if numbering == "general" else range(n + 1)
+        merged = self.merged
+        for b in range(1, n + 1):
+            p = positions[b]
+            child = left[b]
+            ll = labels[child] if child else 0
+            child = right[b]
+            rl = labels[child] if child else 0
+            # The same epsilon-collapsed key set the forward probe builds;
+            # registration runs once per node per tree (not once per node
+            # per probed size like the join's hot loop), so the shared
+            # helper is used instead of a third inlined copy.
+            for key in search_keys(labels[b], ll, rl):
+                by_size = merged.get(key)
+                if by_size is None:
+                    by_size = merged[key] = {}
+                bucket = by_size.get(n)
+                if bucket is None:
+                    bucket = by_size[n] = _NodeBucket()
+                bucket.entries.append((p, b, owner))
+                bucket.dirty = True
+        self.tree_count += 1
+        self.node_count += n
+
+    def anchors(
+        self,
+        twig_key: int,
+        postorder_id: int,
+        half: int,
+        lo_size: int,
+        hi_size: int,
+    ) -> Iterator[tuple[int, int]]:
+        """Yield ``(owner, node_number)`` anchors for one subgraph lookup.
+
+        Anchors are registered nodes of trees with size in ``[lo_size,
+        hi_size]`` whose search-key set contains ``twig_key`` and whose
+        postorder number lies within ``half`` of ``postorder_id`` (the
+        window is skipped entirely when the layer is ``OFF``) — exactly
+        the probes that would have hit this subgraph in a batch run.
+        """
+        by_size = self.merged.get(twig_key)
+        if by_size is None:
+            return
+        off = self.postorder_filter is PostorderFilter.OFF
+        lo = postorder_id - half
+        hi = postorder_id + half
+        for size in range(lo_size, hi_size + 1):
+            bucket = by_size.get(size)
+            if bucket is None:
+                continue
+            entries = bucket.entries
+            if off:
+                for _, b, owner in entries:
+                    yield owner, b
+                continue
+            if bucket.dirty:
+                bucket._ensure_sorted()
+            posts = bucket.posts
+            start = bisect_left(posts, lo)
+            stop = bisect_right(posts, hi, start)
+            for k in range(start, stop):
+                entry = entries[k]
+                yield entry[2], entry[1]

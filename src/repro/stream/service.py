@@ -1,0 +1,147 @@
+"""Asyncio front end: concurrent ingest + search over one warm index.
+
+:class:`StreamJoinService` wraps a :class:`~repro.stream.engine.StreamingJoin`
+for the search-as-a-service scenario: many coroutines — ingest producers,
+search clients, result subscribers — multiplex over one engine and one
+warm index.  The CPU-bound engine calls run in worker threads
+(``asyncio.to_thread``) so the event loop stays responsive, and a single
+``asyncio.Lock`` serializes them: the engine's structures are
+single-writer (lazily sorted buckets, shared interner), and with the
+GIL-bound workload a reader/writer split would buy nothing while
+complicating the coherence story.  Fairness is the lock's FIFO ordering —
+a search submitted between two ingests sees exactly the first ingest's
+prefix.
+
+Result pairs fan out to subscribers as they are verified:
+:meth:`subscribe` returns an async iterator fed by an unbounded queue per
+subscriber (slow consumers buffer, they never stall ingestion), closed by
+:meth:`close`.
+
+Usage::
+
+    async with StreamJoinService(tau=2) as service:
+        asyncio.create_task(producer(service))   # service.ingest(tree)
+        hits = await service.search(query)       # mid-ingest, warm index
+        async for pair in service.subscribe():   # verified (i, j, distance)
+            ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Iterable, Optional
+
+from repro.baselines.common import JoinPair
+from repro.core.join import PartSJConfig
+from repro.search import SearchHit
+from repro.stream.engine import StreamingJoin, StreamStats
+from repro.tree.node import Tree
+
+__all__ = ["StreamJoinService"]
+
+_CLOSED = object()  # queue sentinel ending every subscription
+
+
+class StreamJoinService:
+    """Concurrent ingest / search / subscribe over one streaming join."""
+
+    def __init__(
+        self,
+        tau: int,
+        config: Optional[PartSJConfig] = None,
+        workers: Optional[int] = None,
+    ):
+        self._join = StreamingJoin(tau, config=config, workers=workers)
+        self._lock = asyncio.Lock()
+        self._subscribers: list[asyncio.Queue] = []
+        self._closed = False
+
+    @property
+    def join(self) -> StreamingJoin:
+        """The underlying engine (read-only introspection; use the async
+        methods for anything that runs engine code)."""
+        return self._join
+
+    def _publish(self, pairs: list[JoinPair]) -> None:
+        for queue in self._subscribers:
+            for pair in pairs:
+                queue.put_nowait(pair)
+
+    async def ingest(self, tree: Tree) -> list[JoinPair]:
+        """Ingest one tree; returns (and publishes) pairs verified now."""
+        async with self._lock:
+            pairs = await asyncio.to_thread(self._join.add, tree)
+        self._publish(pairs)
+        return pairs
+
+    async def ingest_many(self, trees: Iterable[Tree]) -> list[JoinPair]:
+        """Ingest a micro-batch under one lock hold."""
+        async with self._lock:
+            pairs = await asyncio.to_thread(self._join.add_many, list(trees))
+        self._publish(pairs)
+        return pairs
+
+    async def search(self, query: Tree) -> list[SearchHit]:
+        """``similarity_search`` against the warm index, mid-ingest."""
+        async with self._lock:
+            searcher = self._join.searcher()
+            return await asyncio.to_thread(searcher.search, query)
+
+    async def flush(self) -> list[JoinPair]:
+        """Drain background verification; returns (and publishes) the rest."""
+        async with self._lock:
+            pairs = await asyncio.to_thread(self._join.flush)
+        self._publish(pairs)
+        return pairs
+
+    async def results(self) -> list[JoinPair]:
+        """All verified pairs so far, canonical order (flush first for
+        prefix-exactness when a background pool is active)."""
+        async with self._lock:
+            return self._join.results()
+
+    async def stats(self) -> StreamStats:
+        async with self._lock:
+            return self._join.stats()
+
+    def subscribe(self) -> AsyncIterator[JoinPair]:
+        """Async iterator over verified pairs from this moment on.
+
+        Subscribing to an already-closed service yields nothing and ends
+        immediately (it never blocks).
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.append(queue)
+        if self._closed:
+            queue.put_nowait(_CLOSED)
+
+        async def _iterate() -> AsyncIterator[JoinPair]:
+            try:
+                while True:
+                    item = await queue.get()
+                    if item is _CLOSED:
+                        return
+                    yield item
+            finally:
+                if queue in self._subscribers:
+                    self._subscribers.remove(queue)
+
+        return _iterate()
+
+    async def close(self) -> None:
+        """Flush, release the engine, and end every subscription."""
+        if self._closed:
+            return
+        self._closed = True
+        async with self._lock:
+            pairs = await asyncio.to_thread(self._join.flush)
+            await asyncio.to_thread(self._join.close)
+        self._publish(pairs)
+        for queue in self._subscribers:
+            queue.put_nowait(_CLOSED)
+
+    async def __aenter__(self) -> "StreamJoinService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -65,3 +65,27 @@ class TestRunGrid:
         assert {(c.x_value, c.method) for c in cells} == {
             (1, "PRT"), (1, "REL"), (2, "PRT"), (2, "REL"),
         }
+
+
+class TestRunStreamCell:
+    def test_streaming_cell_matches_batch_results(self, forest):
+        from repro.bench.harness import run_stream_cell
+
+        batch = run_cell("exp", "tiny", forest, 2, "PRT", "tau", 2)
+        cell = run_stream_cell("exp", "tiny", forest, 2, "tau", 2)
+        assert cell.method == "PRT-S"
+        assert cell.results == batch.results
+        assert cell.candidates == batch.candidates
+        assert cell.wall_time > 0
+        assert cell.extra["ingest_rate"] > 0
+        if cell.results:
+            # The first pair must land before the stream finished.
+            assert 0 < cell.extra["time_to_first_result"] <= cell.wall_time
+        assert cell.extra["ted_calls"] >= 0
+
+    def test_empty_stream_has_no_first_result(self):
+        from repro.bench.harness import run_stream_cell
+
+        cell = run_stream_cell("exp", "tiny", [], 1, "tau", 1)
+        assert cell.results == 0
+        assert cell.extra["time_to_first_result"] is None

@@ -68,3 +68,24 @@ class TestFigureTables:
         assert text.startswith("== My Figure ==")
         assert "-- dataset: d1 --" in text
         assert "-- dataset: d2 --" in text
+
+
+class TestStreamTable:
+    def test_stream_columns(self):
+        from repro.bench.harness import run_stream_cell
+        from repro.bench.reporting import stream_table
+        import random
+        from tests.conftest import make_cluster_forest
+
+        rng = random.Random(3)
+        forest = make_cluster_forest(
+            rng, clusters=2, cluster_size=3, base_size=8, max_edits=2
+        )
+        cells = [run_stream_cell("exp", "tiny", forest, tau, "tau", tau)
+                 for tau in (1, 2)]
+        table = stream_table(cells, "tiny")
+        assert "ingest (trees/s)" in table
+        assert "first result (s)" in table
+        assert "PRT-S" in table
+        # One row per tau plus header/separator.
+        assert len(table.splitlines()) == 4

@@ -115,3 +115,76 @@ class TestPackedTwigKeys:
         interner._labels = [EPSILON] * (MAX_LABEL_ID + 1)  # simulate fullness
         with pytest.raises(InvalidParameterError, match="overflow"):
             interner.intern("one-too-many")
+
+
+class TestStreamingInternerGrowth:
+    """Interner growth during streaming must never invalidate filed keys.
+
+    The streaming engine interns labels of every arriving tree into the
+    same table whose earlier ids are already baked into packed twig keys
+    sitting in the two-layer index (and the reverse node-twig index).
+    Safety rests on one invariant — new labels only *append* ids — which
+    these tests lock down, end to end.
+    """
+
+    def test_ids_are_append_only_under_interleaved_growth(self):
+        interner = LabelInterner()
+        snapshots = {}
+        for wave in range(5):
+            for k in range(4):
+                label = f"wave{wave}-{k}"
+                snapshots[label] = interner.intern(label)
+            # Every id handed out in ANY earlier wave is still the same.
+            for label, lid in snapshots.items():
+                assert interner.intern(label) == lid
+                assert interner.get(label) == lid
+                assert interner.label(lid) == label
+
+    def test_packed_keys_survive_label_growth(self):
+        interner = LabelInterner()
+        a, b, c = (interner.intern(x) for x in "abc")
+        key = pack_twig(a, b, c)
+        for k in range(100):
+            interner.intern(f"late-{k}")
+        # The packed key still unpacks to the same twig and the ids still
+        # resolve to the same labels.
+        assert unpack_twig(key) == (a, b, c)
+        assert [interner.label(i) for i in (a, b, c)] == ["a", "b", "c"]
+        assert pack_twig(a, b, c) == key
+
+    def test_streamed_index_probes_survive_unseen_labels(self):
+        """Interleave ingesting trees with unseen labels and probing.
+
+        A pair filed before a burst of fresh labels must remain findable
+        after it — the unit-level statement of the streaming bugfix
+        invariant (new labels only append ids).
+        """
+        from repro.stream import StreamingJoin
+
+        join = StreamingJoin(1)
+        join.add(Tree.from_bracket("{a{b}{c{d}}}"))
+        interner = join._driver.interner
+        ids_before = {x: interner.get(x) for x in "abcd"}
+        # A burst of arrivals made entirely of labels the interner has
+        # never seen (they form their own cluster, far from the first).
+        for k in range(8):
+            join.add(Tree.from_bracket(
+                "{n%d{n%d{n%d}}{n%d}}" % (k, k + 100, k + 200, k + 300)
+            ))
+        # Old ids unchanged...
+        assert {x: interner.get(x) for x in "abcd"} == ids_before
+        # ...and a near-duplicate of the first tree still finds it
+        # through the index entries filed before the growth.
+        found = join.add(Tree.from_bracket("{a{b}{c{e}}}"))
+        assert [(p.i, p.j, p.distance) for p in found] == [(0, 9, 1)]
+
+    def test_overflow_leaves_interner_consistent(self):
+        interner = LabelInterner()
+        a = interner.intern("a")
+        # Pad the id space to the cap with pointer copies (cheap).
+        interner._labels.extend(["x"] * (MAX_LABEL_ID - len(interner) + 1))
+        with pytest.raises(Exception):
+            interner.intern("one-too-many")
+        # The failed intern must not have filed a dangling id.
+        assert interner.get("one-too-many") is None
+        assert interner.intern("a") == a

@@ -1,0 +1,105 @@
+"""The asyncio front end: concurrent ingest + search over one warm index."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.api import similarity_join
+from repro.stream import StreamJoinService
+from repro.tree.node import Tree
+from tests.conftest import make_cluster_forest
+
+
+def triples(pairs):
+    return [(p.i, p.j, p.distance) for p in pairs]
+
+
+@pytest.fixture
+def workload():
+    rng = random.Random(51)
+    trees = make_cluster_forest(
+        rng, clusters=3, cluster_size=3, base_size=9, max_edits=2
+    )
+    rng.shuffle(trees)
+    return trees
+
+
+class TestStreamJoinService:
+    def test_concurrent_ingest_search_subscribe(self, workload):
+        tau = 2
+        searches = []
+        received = []
+
+        async def producer(service):
+            for tree in workload:
+                await service.ingest(tree)
+
+        async def search_client(service):
+            # Interleaves with the producer on the event loop; each query
+            # sees some prefix of the stream and must answer over it.
+            for _ in range(5):
+                hits = await service.search(workload[0])
+                stats = await service.stats()
+                searches.append((len(hits), stats.trees))
+                await asyncio.sleep(0)
+
+        async def subscriber(service):
+            async for pair in service.subscribe():
+                received.append(pair)
+
+        async def scenario():
+            async with StreamJoinService(tau) as service:
+                sub = asyncio.create_task(subscriber(service))
+                await asyncio.gather(
+                    producer(service), search_client(service)
+                )
+                results = await service.results()
+                stats = await service.stats()
+                return sub, results, stats
+
+        async def run():
+            sub, results, stats = await scenario()
+            await sub  # close() ended the subscription
+            return results, stats
+
+        results, stats = asyncio.run(run())
+        batch = similarity_join(workload, tau)
+        assert triples(results) == triples(batch.pairs)
+        assert stats.trees == len(workload)
+        # Every verified pair was published to the subscriber.
+        assert sorted(triples(received)) == sorted(triples(batch.pairs))
+        # Searches observed monotonically growing prefixes.
+        prefixes = [trees for _, trees in searches]
+        assert prefixes == sorted(prefixes)
+
+    def test_background_pool_flush(self, workload):
+        async def run():
+            async with StreamJoinService(2, workers=2) as service:
+                await service.ingest_many(workload)
+                await service.flush()
+                stats = await service.stats()
+                return await service.results(), stats
+
+        results, stats = asyncio.run(run())
+        assert triples(results) == triples(similarity_join(workload, 2).pairs)
+        assert stats.pending_verification == 0
+
+    def test_close_is_idempotent(self):
+        async def run():
+            service = StreamJoinService(1)
+            await service.ingest(Tree.from_bracket("{a{b}}"))
+            await service.close()
+            await service.close()
+
+        asyncio.run(run())
+
+    def test_subscribe_after_close_ends_immediately(self):
+        async def run():
+            service = StreamJoinService(1)
+            await service.close()
+            received = [pair async for pair in service.subscribe()]
+            return received
+
+        # Must terminate (not hang on an empty queue) and yield nothing.
+        assert asyncio.run(asyncio.wait_for(run(), timeout=5)) == []

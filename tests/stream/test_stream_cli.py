@@ -1,0 +1,127 @@
+"""CLI streaming mode: ``join --stream`` and ``stats --stream``."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.io import load_trees
+
+BRACKET_LINES = "\n".join([
+    "{a{b}{c{d}}}",
+    "",                 # blank lines are skipped
+    "# a comment",      # so are comment lines
+    "{a{b}{c{e}}}",
+    "{x{y{z{w{v}}}}{u}}",
+]) + "\n"
+
+
+def feed(monkeypatch, text):
+    monkeypatch.setattr("sys.stdin", io.StringIO(text))
+
+
+class TestJoinStream:
+    def test_emits_pairs_and_summary(self, monkeypatch, capsys):
+        feed(monkeypatch, BRACKET_LINES)
+        assert main(["join", "--stream", "--tau", "1"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines() == ["0\t1\t1"]
+        assert "streamed 3 trees" in captured.err
+        assert "pending 0" in captured.err
+
+    def test_json_events_and_stats(self, monkeypatch, capsys):
+        feed(monkeypatch, BRACKET_LINES)
+        assert main(["join", "--stream", "--tau", "1", "--json"]) == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.splitlines()]
+        assert lines[0] == {"pair": [0, 1, 1]}
+        stats = lines[-1]["stats"]
+        assert stats["trees"] == 3
+        assert stats["results"] == 1
+        assert stats["pending_verification"] == 0
+        assert "ingest_rate" in stats and "index_entries" in stats
+
+    def test_ndjson_format(self, monkeypatch, capsys):
+        payload = "\n".join(
+            json.dumps({"tree": b, "id": k})
+            for k, b in enumerate(("{a{b}}", "{a{c}}"))
+        ) + "\n"
+        feed(monkeypatch, payload)
+        assert main([
+            "join", "--stream", "--tau", "1", "--format", "ndjson",
+        ]) == 0
+        assert capsys.readouterr().out.splitlines() == ["0\t1\t1"]
+
+    def test_micro_batch(self, monkeypatch, capsys):
+        feed(monkeypatch, BRACKET_LINES)
+        assert main([
+            "join", "--stream", "--tau", "1", "--micro-batch", "2",
+        ]) == 0
+        assert capsys.readouterr().out.splitlines() == ["0\t1\t1"]
+
+    def test_matches_batch_join_on_same_data(self, monkeypatch, tmp_path,
+                                             capsys):
+        path = tmp_path / "forest.trees"
+        assert main([
+            "generate", "--count", "25", "--seed", "6", "--size", "12",
+            "--out", str(path),
+        ]) == 0
+        capsys.readouterr()  # discard the generate confirmation line
+        assert main([
+            "join", str(path), "--tau", "2", "--pairs", "--json",
+        ]) == 0
+        batch = json.loads(capsys.readouterr().out)["pairs"]
+        feed(monkeypatch, "\n".join(
+            tree.to_bracket() for tree in load_trees(path)
+        ))
+        assert main(["join", "--stream", "--tau", "2"]) == 0
+        out = capsys.readouterr().out
+        streamed = [[int(x) for x in line.split("\t")]
+                    for line in out.splitlines()]
+        assert sorted(streamed) == sorted(batch)
+
+    def test_rejects_input_file_and_non_partsj(self, monkeypatch, capsys):
+        feed(monkeypatch, BRACKET_LINES)
+        assert main(["join", "somefile", "--stream", "--tau", "1"]) == 2
+        assert "stdin" in capsys.readouterr().err
+        feed(monkeypatch, BRACKET_LINES)
+        assert main([
+            "join", "--stream", "--tau", "1", "--method", "set",
+        ]) == 2
+
+    def test_missing_input_without_stream(self, capsys):
+        assert main(["join", "--tau", "1"]) == 2
+        assert "dataset file" in capsys.readouterr().err
+
+    def test_bad_ndjson_line(self, monkeypatch, capsys):
+        feed(monkeypatch, "not json\n")
+        assert main([
+            "join", "--stream", "--tau", "1", "--format", "ndjson",
+        ]) == 2
+        assert "line 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("line", ['{"tree": 5}', '[1, 2]', '{"other": "x"}'])
+    def test_ndjson_without_bracket_string(self, monkeypatch, capsys, line):
+        # Malformed payloads must fail as clean CLI errors, not tracebacks.
+        feed(monkeypatch, line + "\n")
+        assert main([
+            "join", "--stream", "--tau", "1", "--format", "ndjson",
+        ]) == 2
+        assert "line 1" in capsys.readouterr().err
+
+
+class TestStatsStream:
+    def test_reports_ingest_rate_and_index(self, monkeypatch, capsys):
+        feed(monkeypatch, BRACKET_LINES)
+        assert main(["stats", "--stream", "--tau", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "streamed 3 trees" in out
+        assert "trees/s" in out
+        assert "warm index" in out
+        assert "pending verification 0" in out
+        assert "size histogram" in out
+
+    def test_missing_input_without_stream(self, capsys):
+        assert main(["stats"]) == 2
+        assert "dataset file" in capsys.readouterr().err

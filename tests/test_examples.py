@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "xml_near_duplicates",
     "rna_motifs",
     "sentence_paraphrases",
+    "streaming_service",
 ]
 
 
