@@ -5,9 +5,13 @@ Walks through the core public API:
 
 1. build trees (bracket notation and programmatic construction);
 2. compute tree edit distances;
-3. run a similarity self-join with PartSJ and inspect the statistics;
-4. cross-check against a baseline method;
-5. run a similarity search for a single query.
+3. prepare a TreeCollection session and join it with PartSJ;
+4. cross-check against a baseline method (same session, same pairs);
+5. run similarity searches on the session's warm index.
+
+The one-shot shims (``similarity_join``, ``similarity_search``, ...)
+still exist for quick scripts; ``examples/session_reuse.py`` shows the
+full prepare-once-query-many workflow this file only samples.
 
 Run with::
 
@@ -17,9 +21,8 @@ Run with::
 from repro import (
     PartSJConfig,
     Tree,
+    TreeCollection,
     TreeNode,
-    similarity_join,
-    similarity_search,
     ted,
 )
 
@@ -54,17 +57,20 @@ def main() -> None:
     print("TED(a, c) =", ted(album_a, album_c))
 
     # -- 3. A similarity self-join ------------------------------------------
-    # Collect a few near-duplicate listings and join with threshold tau.
-    collection = [album_a, album_b, album_c]
+    # Collect a few near-duplicate listings, prepare them ONCE as a
+    # session, and join with threshold tau.  (For a single throwaway call
+    # the shim `similarity_join(trees, tau)` does the same thing.)
+    listings = [album_a, album_b, album_c]
     for bracket in (
         "{album{title{Abbey Road}}{artist{The Beatles}}{year{1969}}"
         "{track{Come Together}}{track{Something}}}",  # exact dup of album_a
         "{album{title{Abbey Road}}{artist{Beatles}}{year{1969}}"
         "{track{Come Together}}{track{Something}}}",  # one rename away
     ):
-        collection.append(Tree.from_bracket(bracket))
+        listings.append(Tree.from_bracket(bracket))
 
-    result = similarity_join(collection, tau=2)  # PartSJ, exact by default
+    collection = TreeCollection.from_trees(listings)
+    result = collection.join(tau=2).run()  # PartSJ, exact by default
     print("\nSimilarity join (tau=2):")
     for pair in result.pairs:
         print(f"  trees {pair.i} and {pair.j} are TED {pair.distance} apart")
@@ -72,23 +78,26 @@ def main() -> None:
 
     # The paper-faithful filter configuration is one switch away (it can
     # miss results in corner cases — see EXPERIMENTS.md finding F1):
-    paper_result = similarity_join(
-        collection, tau=2, config=PartSJConfig(semantics="paper")
-    )
+    paper_result = collection.join(
+        tau=2, config=PartSJConfig(semantics="paper")
+    ).run()
     print("  strict matching finds", len(paper_result.pairs), "pairs")
 
     # -- 4. Baselines return identical results ------------------------------
+    # Same session: the baselines see the same trees, and a repeated
+    # PartSJ query would be served from the session's result cache.
     for method in ("str", "set", "nested_loop"):
-        other = similarity_join(collection, tau=2, method=method)
+        other = collection.join(tau=2, method=method).run()
         assert other.pair_set() == result.pair_set()
         print(f"  {other.stats.method:>3} agrees "
               f"({other.stats.candidates} candidates)")
 
     # -- 5. Similarity search ------------------------------------------------
+    # Searches share the session's preparation with the joins above.
     query = Tree.from_bracket(
         "{album{title{Abbey Road}}{artist{The Beatles}}{year{1969}}}"
     )
-    hits = similarity_search(query, collection, tau=3)
+    hits = collection.search(query, tau=3).run()
     print("\nSearch hits within TED 3 of the query:")
     for hit in hits:
         print(f"  #{hit.index} at distance {hit.distance}")

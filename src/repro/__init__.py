@@ -9,13 +9,18 @@ evaluation section.
 
 Quick start::
 
-    from repro import Tree, similarity_join, ted
+    from repro import Tree, TreeCollection, ted
 
-    trees = [Tree.from_bracket(line) for line in open("forest.trees")]
-    result = similarity_join(trees, tau=2)          # PartSJ (the paper's PRT)
+    col = TreeCollection.from_file("forest.trees")  # prepared once
+    result = col.join(tau=2).run()                  # PartSJ (the paper's PRT)
     for pair in result.pairs:
         print(pair.i, pair.j, pair.distance)
     print(result.stats.summary())
+    hits = col.search(query, tau=2).run()           # reuses the preparation
+
+One-off calls can use the legacy shims (``similarity_join``,
+``similarity_join_rs``, ``similarity_search``, ``stream_join``) — each is
+a thin wrapper over a one-shot session with bit-identical results.
 
 See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction
 results, including two filter-correctness findings about the published
@@ -58,6 +63,14 @@ from repro.errors import (
 )
 from repro.rsjoin import similarity_join_rs
 from repro.search import SearchHit, SimilaritySearcher, similarity_search
+from repro.session import (
+    JoinPlan,
+    QueryPlan,
+    RSJoinPlan,
+    SearchPlan,
+    StreamPlan,
+    TreeCollection,
+)
 from repro.stream import StreamingJoin, StreamJoinService, StreamStats
 from repro.ted import ted, ted_within
 from repro.tree import Tree, TreeNode, collection_stats, tree_stats
@@ -74,6 +87,13 @@ __all__ = [
     # distances
     "ted",
     "ted_within",
+    # sessions (prepare once, query many)
+    "TreeCollection",
+    "QueryPlan",
+    "JoinPlan",
+    "RSJoinPlan",
+    "SearchPlan",
+    "StreamPlan",
     # joins
     "similarity_join",
     "similarity_join_rs",

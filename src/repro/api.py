@@ -1,58 +1,110 @@
-"""Top-level convenience API: one entry point for every join method.
+"""One-shot convenience shims over :mod:`repro.session` sessions.
 
-``similarity_join(trees, tau, method=...)`` dispatches to the method
-registry; library users who just want "the fast one" can ignore everything
-else and call it with the defaults (PartSJ with the provably-exact filter
-configuration).  ``stream_join(trees, tau)`` is the incremental
-counterpart: it consumes any iterable (including a generator that is
-still producing) and yields verified pairs as they are found.
+The canonical API is the *prepared-once, query-many* session object::
+
+    from repro import TreeCollection
+
+    col = TreeCollection.from_file("forest.trees")
+    result = col.join(tau=2).run()          # prepares tau=2, joins
+    col.search(query, tau=2).run()          # reuses that preparation
+    col.join(tau=3).run()                   # re-partitions only
+    for pair in col.stream(tau=2).iter():   # incremental re-play
+        ...
+
+Every query builder returns a :class:`repro.session.QueryPlan` with
+``.explain()`` (structured plan: method, filter config, shard plan, index
+statistics) and ``.run()`` / ``.iter()``.  Preparation — parsing,
+interning, size-sorting, partitioning, index building, per-tree
+verification caches — happens once per collection (per tau where
+tau-dependent) and is shared by joins, R×S joins, searches and repeated
+queries.
+
+This module keeps the historical free functions alive as *thin shims*,
+each building a one-shot session per call and returning bit-identical
+results:
+
+- :func:`similarity_join` — self-join via any registered method;
+- :func:`stream_join` — incremental join over a (possibly still
+  producing) iterable, yielding pairs as they verify;
+- (:func:`repro.rsjoin.similarity_join_rs` and
+  :func:`repro.search.similarity_search` are the R×S and search shims.)
+
+Use the shims for one-off calls and scripts; use sessions whenever the
+same collection is queried more than once — the shims themselves say so
+through a once-per-process :class:`DeprecationWarning`.  All parameter
+validation (``tau``, ``workers``, ``micro_batch``) is centralized in
+:mod:`repro.params`, so shims and sessions accept and reject exactly the
+same inputs.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import warnings
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.baselines.common import JoinPair, JoinResult
-from repro.baselines.histogram_join import histogram_join
-from repro.baselines.nested_loop import nested_loop_join
-from repro.baselines.set_join import set_join
-from repro.baselines.str_join import str_join
-from repro.core.join import PartSJConfig, partsj_join
-from repro.errors import InvalidParameterError
+from repro.core.join import PartSJConfig
+from repro.params import check_micro_batch, check_tau, check_workers
+from repro.session import (
+    _BASELINE_IMPLS,
+    JOIN_METHOD_NAMES,
+    StreamPlan,
+    TreeCollection,
+)
 from repro.tree.node import Tree
 
 __all__ = ["similarity_join", "stream_join", "JOIN_METHODS"]
 
 
+# -- shim deprecation machinery ----------------------------------------------
+
+_SHIM_WARNINGS_EMITTED: set[str] = set()
+
+
+def _warn_shim(name: str) -> None:
+    """Emit the one-shot-shim deprecation notice, once per process.
+
+    The library itself never calls a shim (everything internal goes
+    through sessions); the test suite turns repro-internal
+    DeprecationWarnings into errors to keep it that way.
+    """
+    if name in _SHIM_WARNINGS_EMITTED:
+        return
+    _SHIM_WARNINGS_EMITTED.add(name)
+    warnings.warn(
+        f"{name}() is a one-shot shim over repro.TreeCollection sessions; "
+        "for repeated queries over the same trees, prepare a TreeCollection "
+        "and reuse it (this notice is emitted once per process)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_shim_warnings() -> None:
+    """Re-arm the once-per-process shim warnings (test hook)."""
+    _SHIM_WARNINGS_EMITTED.clear()
+
+
+# -- the method registry (kept for compatibility) ----------------------------
+
 def _partsj(trees: Sequence[Tree], tau: int, **options) -> JoinResult:
     config = options.pop("config", None)
-    # workers is an execution knob, not a filter variant: it composes with
-    # an explicit config instead of conflicting with it.
-    workers = options.pop("workers", None)
-    if options and config is not None:
-        raise InvalidParameterError(
-            "pass either a PartSJConfig via config= or individual options, not both"
-        )
-    if config is None:
-        config = PartSJConfig(**options) if options else None
-    if workers is not None and workers != 1:
-        config = replace(config or PartSJConfig(), workers=workers)
-    return partsj_join(trees, tau, config)
-
-
-def _nested_loop(trees: Sequence[Tree], tau: int, **options) -> JoinResult:
-    return nested_loop_join(trees, tau, **options)
+    workers = options.pop("workers", 1)
+    return (
+        TreeCollection.from_trees(trees)
+        .join(tau, method="partsj", workers=workers, config=config, **options)
+        .run()
+    )
 
 
 JOIN_METHODS: dict[str, Callable[..., JoinResult]] = {
     "partsj": _partsj,  # the paper's PRT
     "prt": _partsj,  # figure-series alias
-    "str": lambda trees, tau, **o: str_join(trees, tau, **o),
-    "set": lambda trees, tau, **o: set_join(trees, tau, **o),
-    "histogram": lambda trees, tau, **o: histogram_join(trees, tau, **o),
-    "nested_loop": _nested_loop,  # ground truth (REL)
-    "rel": _nested_loop,
+    "str": _BASELINE_IMPLS["str"],
+    "set": _BASELINE_IMPLS["set"],
+    "histogram": _BASELINE_IMPLS["histogram"],
+    "nested_loop": _BASELINE_IMPLS["nested_loop"],  # ground truth (REL)
+    "rel": _BASELINE_IMPLS["rel"],
 }
 
 
@@ -63,7 +115,12 @@ def similarity_join(
     workers: int = 1,
     **options,
 ) -> JoinResult:
-    """Similarity self-join: all pairs with ``TED <= tau``.
+    """Similarity self-join: all pairs with ``TED <= tau`` (one-shot shim).
+
+    Equivalent to ``TreeCollection.from_trees(trees).join(...).run()`` —
+    bit-identical pairs and distances — but the preparation work is
+    discarded afterwards; joining the same trees repeatedly (other taus,
+    searches, R×S) is what sessions are for.
 
     Parameters
     ----------
@@ -71,7 +128,7 @@ def similarity_join(
         The collection.  Result pairs are ``(i, j, distance)`` with
         ``i < j`` indexing into this sequence.
     tau:
-        The TED threshold (>= 0).
+        The TED threshold (an integer >= 0).
     method:
         ``"partsj"`` (default), ``"str"``, ``"set"``, ``"histogram"``, or
         ``"nested_loop"``.  All methods return the identical result set;
@@ -91,19 +148,20 @@ def similarity_join(
     >>> sorted(p.key() for p in similarity_join(trees, 1))
     [(0, 1)]
     """
-    try:
-        impl = JOIN_METHODS[method.lower()]
-    except KeyError:
-        raise InvalidParameterError(
-            f"unknown join method {method!r}; choose from {sorted(JOIN_METHODS)}"
-        ) from None
-    if not isinstance(workers, int) or workers < 1:
-        raise InvalidParameterError(
-            f"workers must be an integer >= 1, got {workers!r}"
-        )
-    if workers != 1:
-        options["workers"] = workers
-    return impl(trees, tau, **options)
+    _warn_shim("similarity_join")
+    key = method.lower() if isinstance(method, str) else method
+    if key in JOIN_METHODS and key not in JOIN_METHOD_NAMES:
+        # A caller-registered method: dispatch through the registry with
+        # the historical calling convention (workers rides in options).
+        check_tau(tau)
+        if check_workers(workers) != 1:
+            options["workers"] = workers
+        return JOIN_METHODS[key](trees, tau, **options)
+    return (
+        TreeCollection.from_trees(trees)
+        .join(tau, method=method, workers=workers, **options)
+        .run()
+    )
 
 
 def stream_join(
@@ -113,7 +171,7 @@ def stream_join(
     workers: int = 1,
     micro_batch: int = 1,
 ) -> Iterator[JoinPair]:
-    """Incremental similarity self-join over a stream of trees.
+    """Incremental similarity self-join over a stream of trees (shim).
 
     Consumes ``trees`` lazily — an exhausted list, a generator still
     reading from disk, a socket — and yields verified
@@ -124,12 +182,16 @@ def stream_join(
     same holds at every intermediate flush point, so a consumer can stop
     early with a correct join of the prefix it has seen.
 
+    A thin shim over :class:`repro.session.StreamPlan` (laziness is why
+    it takes an iterable rather than a prepared collection; an in-memory
+    collection streams via ``TreeCollection.stream(tau)``).
+
     Parameters
     ----------
     trees:
         The arriving collection, in arrival order.
     tau:
-        The TED threshold.
+        The TED threshold (an integer >= 0).
     config:
         PartSJ filter configuration (defaults to the provably-exact one).
     workers:
@@ -146,30 +208,14 @@ def stream_join(
     >>> [(p.i, p.j) for p in stream_join(iter(trees), 1)]
     [(0, 1)]
     """
-    if micro_batch < 1:
-        raise InvalidParameterError(
-            f"micro_batch must be >= 1, got {micro_batch}"
-        )
-    if tau < 0:
-        raise InvalidParameterError(f"tau must be >= 0, got {tau}")
-    return _stream_join(trees, tau, config, workers, micro_batch)
-
-
-def _stream_join(trees, tau, config, workers, micro_batch):
-    # The generator half of stream_join: the eager wrapper above raises
-    # parameter errors at call time, not at the first next().
-    from repro.stream.engine import StreamingJoin
-
-    with StreamingJoin(tau, config=config, workers=workers) as join:
-        batch: list[Tree] = []
-        for tree in trees:
-            batch.append(tree)
-            if len(batch) >= micro_batch:
-                yield from join.add_many(batch)
-                batch.clear()
-        if batch:
-            yield from join.add_many(batch)
-        yield from join.flush()
+    _warn_shim("stream_join")
+    # The plan constructor raises parameter errors at call time, not at
+    # the first next(); iteration itself stays lazy.
+    plan = StreamPlan(
+        trees, check_tau(tau), config,
+        check_workers(workers), check_micro_batch(micro_batch),
+    )
+    return plan.iter()
 
 
 def join_methods() -> list[str]:

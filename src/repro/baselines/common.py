@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
 from repro.errors import InvalidParameterError
+from repro.params import check_tau
 from repro.ted.binary_branch import binary_branches
 from repro.ted.bounds import (
     branch_bound_from_bags,
@@ -68,6 +69,7 @@ __all__ = [
     "JoinResult",
     "TreeFeatures",
     "Verifier",
+    "VerifierCaches",
     "DeferredVerification",
     "SizeSortedCollection",
     "check_join_inputs",
@@ -152,9 +154,8 @@ class JoinResult:
 
 
 def check_join_inputs(trees: Sequence[Tree], tau: int) -> None:
-    """Validate common join arguments."""
-    if tau < 0:
-        raise InvalidParameterError(f"tau must be >= 0, got {tau}")
+    """Validate common join arguments (tau via :mod:`repro.params`)."""
+    check_tau(tau)
     for position, tree in enumerate(trees):
         if not isinstance(tree, Tree):
             raise InvalidParameterError(
@@ -247,6 +248,28 @@ class TreeFeatures:
         )
 
 
+class VerifierCaches:
+    """Tau-independent per-tree verification caches, shareable across runs.
+
+    Everything a :class:`Verifier` memoizes per tree — Zhang–Shasha
+    annotations (both orientations) and :class:`TreeFeatures` — depends
+    only on the tree, never on the threshold.  A prepared session
+    (:class:`repro.session.TreeCollection`) therefore keeps one instance
+    per collection and hands it to every query's verifier: a tree
+    annotated for the first ``tau=1`` join is not re-annotated by a later
+    ``tau=3`` join or search over the same collection.  Keys are original
+    tree indices, so the caches are only valid for verifiers over the
+    same tree sequence.
+    """
+
+    __slots__ = ("annotated", "mirrored", "features")
+
+    def __init__(self) -> None:
+        self.annotated: dict[int, AnnotatedTree] = {}
+        self.mirrored: dict[int, AnnotatedTree] = {}
+        self.features: dict[int, TreeFeatures] = {}
+
+
 class Verifier:
     """Threshold-aware exact-TED verification engine (see module docstring).
 
@@ -279,6 +302,12 @@ class Verifier:
         the even tighter ``upper``).  ``False`` lets an upper-bound
         acceptance return the bound itself with no DP at all — membership
         is still exact, the reported distance may overestimate.
+    caches:
+        A :class:`VerifierCaches` to read and populate instead of private
+        per-verifier dicts.  Sessions share one per collection so the
+        per-tree annotation/feature work amortizes across queries at
+        different thresholds; the accepted pairs and distances are
+        unaffected.
     """
 
     def __init__(
@@ -289,6 +318,7 @@ class Verifier:
         traversal_bound: bool = True,
         bag_bounds: "bool | Sequence[str]" = True,
         exact_distances: bool = True,
+        caches: Optional[VerifierCaches] = None,
     ):
         if bag_bounds is True:
             bag_bounds = ("labels", "degrees", "branches")
@@ -300,9 +330,11 @@ class Verifier:
         self._traversal_bound = traversal_bound
         self._bag_bounds = frozenset(bag_bounds)
         self._exact_distances = exact_distances
-        self._annotated: dict[int, AnnotatedTree] = {}
-        self._mirrored: dict[int, AnnotatedTree] = {}
-        self._features: dict[int, TreeFeatures] = {}
+        if caches is None:
+            caches = VerifierCaches()
+        self._annotated = caches.annotated
+        self._mirrored = caches.mirrored
+        self._features = caches.features
         self.stats_ted_calls = 0
         self.stats_time = 0.0
         self.stats_lb_filtered = 0

@@ -11,12 +11,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
-from repro.api import similarity_join
 from repro.core.join import PartSJConfig
 from repro.errors import InvalidParameterError
+from repro.session import TreeCollection
 from repro.tree.node import Tree
+
+# Cells accept either raw trees (a fresh one-shot session per cell — the
+# cold-cache measurement the paper's figures want) or an existing
+# TreeCollection (a warm session shared across cells, e.g. one per
+# workload in run_grid).
+Workload = Union[Sequence[Tree], TreeCollection]
 
 __all__ = ["CellResult", "run_cell", "run_stream_cell", "run_grid", "METHOD_LABELS"]
 
@@ -81,7 +87,7 @@ class CellResult:
 def run_cell(
     experiment: str,
     dataset: str,
-    trees: Sequence[Tree],
+    trees: Workload,
     tau: int,
     method: str,
     x_name: str,
@@ -91,6 +97,11 @@ def run_cell(
     workers: int = 1,
 ) -> CellResult:
     """Execute one method on one workload and wrap its statistics.
+
+    ``trees`` may be a raw sequence (a one-shot session is built per cell
+    — the cold measurement the paper's figures use; result caching never
+    applies) or a prepared :class:`repro.session.TreeCollection` for
+    explicit warm-session benchmarking (``bench_session_reuse``).
 
     ``str_banded`` defaults to ``False`` so that the ``STR`` series pays the
     paper-faithful full string DP (see ``repro.baselines.str_join``).
@@ -109,9 +120,13 @@ def run_cell(
     if registry_name == "str":
         options["banded"] = str_banded
     started = time.perf_counter()
-    result = similarity_join(
-        trees, tau, method=registry_name, workers=workers, **options
+    collection = (
+        trees if isinstance(trees, TreeCollection)
+        else TreeCollection.from_trees(trees)
     )
+    result = collection.join(
+        tau, method=registry_name, workers=workers, **options
+    ).run()
     wall = time.perf_counter() - started
     stats = result.stats
     return CellResult(

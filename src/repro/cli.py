@@ -5,10 +5,15 @@ Subcommands
 - ``generate``   — write a dataset file (synthetic or realistic simulator).
 - ``stats``      — shape statistics of a dataset file, paper-style
   (``--stream`` ingests stdin incrementally and reports ingest statistics).
-- ``join``       — run a similarity self-join over a dataset file
-  (``--stream`` joins trees arriving on stdin, emitting pairs as they
-  verify).
-- ``search``     — similarity search of one query tree in a dataset file.
+- ``join``       — similarity self-join(s) over a dataset file: the file
+  is prepared **once** as a :class:`repro.TreeCollection` session and
+  ``--tau`` may repeat, so ``join data --tau 1 --tau 2 --tau 3`` shares
+  the parse/intern/cache work across all three joins (``--explain``
+  prints each query's structured plan; ``--stream`` joins trees arriving
+  on stdin instead, emitting pairs as they verify).
+- ``search``     — similarity search in a dataset file; ``--query`` may
+  repeat and all queries share one prepared session (repl-style usage:
+  many queries, one preparation).
 - ``ted``        — tree edit distance between two bracket-notation trees.
 - ``experiment`` — run one of the paper's figure reproductions.
 
@@ -33,16 +38,14 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.api import similarity_join
-from repro.baselines.common import SizeSortedCollection
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import render_figure
 from repro.core.join import PartSJConfig
-from repro.datasets.io import load_trees, save_trees
+from repro.datasets.io import save_trees
 from repro.datasets.realistic import DATASET_GENERATORS
 from repro.datasets.synthetic import SyntheticParams, generate_forest
 from repro.errors import InvalidParameterError, ReproError, TreeFormatError
-from repro.search import similarity_search
+from repro.session import TreeCollection
 from repro.ted.api import TED_ALGORITHMS, ted
 from repro.tree.bracket import parse_bracket
 from repro.tree.stats import collection_stats
@@ -96,7 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     join.add_argument("input", nargs="?", default=None,
                       help="dataset file (omit with --stream)")
-    join.add_argument("--tau", type=int, required=True)
+    join.add_argument("--tau", type=int, required=True, action="append",
+                      help="TED threshold; repeatable — all thresholds "
+                           "share one prepared collection session")
     join.add_argument("--stream", action="store_true",
                       help="read trees from stdin incrementally, emitting "
                            "pairs as they verify (partsj only)")
@@ -115,15 +120,29 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--pairs", action="store_true",
                       help="print every result pair (default: stats only)")
     join.add_argument("--json", action="store_true", help="machine-readable output")
+    join.add_argument("--explain", action="store_true",
+                      help="print each query's structured plan (method, "
+                           "filter config, shard plan, index stats) before "
+                           "running it")
     join.add_argument("--workers", type=int, default=1,
                       help="worker processes (1 = serial; results identical; "
                            "per-shard timings appear under extra.shards in "
                            "--json output)")
 
-    search = commands.add_parser("search", help="similarity search")
+    search = commands.add_parser(
+        "search", help="similarity search",
+        description="Similarity search in a dataset file.  --query may be "
+                    "given multiple times; the collection is prepared once "
+                    "and every query hits the warm per-tau index.",
+    )
     search.add_argument("input", help="dataset file")
-    search.add_argument("--query", required=True, help="query tree in bracket notation")
+    search.add_argument("--query", required=True, action="append",
+                        help="query tree in bracket notation (repeatable; "
+                             "all queries share one prepared session)")
     search.add_argument("--tau", type=int, required=True)
+    search.add_argument("--explain", action="store_true",
+                        help="print each query's structured plan before "
+                             "running it")
 
     ted_cmd = commands.add_parser("ted", help="tree edit distance of two trees")
     ted_cmd.add_argument("tree1", help="bracket notation")
@@ -233,9 +252,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         return _cmd_stats_stream(args)
     if args.input is None:
         raise InvalidParameterError("stats needs a dataset file (or --stream)")
-    trees = load_trees(args.input)
-    print(collection_stats(trees).describe())
-    histogram = SizeSortedCollection(trees).size_histogram()
+    collection = TreeCollection.from_file(args.input)
+    print(collection_stats(collection.trees).describe())
+    histogram = collection.sorted.size_histogram()
     sizes = [size for size, _ in histogram]
     peak_size, peak_count = max(histogram, key=lambda run: run[1])
     print(
@@ -245,7 +264,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_join_stream(args: argparse.Namespace) -> int:
+def _cmd_join_stream(args: argparse.Namespace, tau: int) -> int:
     from repro.stream import StreamingJoin
 
     if args.method != "partsj":
@@ -273,7 +292,7 @@ def _cmd_join_stream(args: argparse.Namespace) -> int:
             else:
                 print(f"{pair.i}\t{pair.j}\t{pair.distance}", flush=True)
 
-    with StreamingJoin(args.tau, config=config, workers=args.workers) as join:
+    with StreamingJoin(tau, config=config, workers=args.workers) as join:
         batch = []
         for tree in _iter_stream_trees(sys.stdin, args.format):
             batch.append(tree)
@@ -298,56 +317,92 @@ def _cmd_join_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _join_payload(result, workers: int) -> dict:
+    return {
+        "stats": {
+            "method": result.stats.method,
+            "tau": result.stats.tau,
+            "trees": result.stats.tree_count,
+            "workers": workers,
+            "candidates": result.stats.candidates,
+            "results": result.stats.results,
+            "candidate_time": result.stats.candidate_time,
+            "probe_time": result.stats.probe_time,
+            "index_time": result.stats.index_time,
+            "verify_time": result.stats.verify_time,
+            "ted_calls": result.stats.ted_calls,
+            "extra": result.stats.extra,
+        },
+        "pairs": [[p.i, p.j, p.distance] for p in result.pairs],
+    }
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
+    taus = args.tau
     if args.stream:
         _require_stream_input(args)
-        return _cmd_join_stream(args)
+        if len(taus) != 1:
+            raise InvalidParameterError(
+                "--stream joins one threshold at a time; give --tau once"
+            )
+        return _cmd_join_stream(args, taus[0])
     if args.input is None:
         raise InvalidParameterError("join needs a dataset file (or --stream)")
-    trees = load_trees(args.input)
+    # One prepared session serves every requested threshold: the parse,
+    # intern, sort and verification caches are shared, and each tau pays
+    # its own partitioning at most once.
+    collection = TreeCollection.from_file(args.input)
     options = {}
     if args.method == "partsj":
         options["config"] = PartSJConfig(
             semantics=args.semantics, postorder_filter=args.postorder_filter
         )
-    result = similarity_join(
-        trees, args.tau, method=args.method, workers=args.workers, **options
-    )
+    payloads = []
+    for tau in taus:
+        plan = collection.join(
+            tau, method=args.method, workers=args.workers, **options
+        )
+        if args.explain:
+            explain = plan.explain()
+            if not args.json:
+                print(f"# plan: {json.dumps(explain, sort_keys=True)}")
+        result = plan.run()
+        if args.json:
+            payload = _join_payload(result, args.workers)
+            if args.explain:
+                payload["plan"] = explain
+            payloads.append(payload)
+            continue
+        print(result.stats.summary())
+        if args.pairs:
+            for pair in result.pairs:
+                print(f"{pair.i}\t{pair.j}\t{pair.distance}")
     if args.json:
-        payload = {
-            "stats": {
-                "method": result.stats.method,
-                "tau": result.stats.tau,
-                "trees": result.stats.tree_count,
-                "workers": args.workers,
-                "candidates": result.stats.candidates,
-                "results": result.stats.results,
-                "candidate_time": result.stats.candidate_time,
-                "probe_time": result.stats.probe_time,
-                "index_time": result.stats.index_time,
-                "verify_time": result.stats.verify_time,
-                "ted_calls": result.stats.ted_calls,
-                "extra": result.stats.extra,
-            },
-            "pairs": [[p.i, p.j, p.distance] for p in result.pairs],
-        }
-        json.dump(payload, sys.stdout, indent=2)
+        # Single-tau invocations keep the historical payload shape; a
+        # multi-tau session wraps the per-tau payloads in "queries".
+        json.dump(
+            payloads[0] if len(payloads) == 1 else {"queries": payloads},
+            sys.stdout, indent=2,
+        )
         print()
-        return 0
-    print(result.stats.summary())
-    if args.pairs:
-        for pair in result.pairs:
-            print(f"{pair.i}\t{pair.j}\t{pair.distance}")
     return 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    trees = load_trees(args.input)
-    query = parse_bracket(args.query)
-    hits = similarity_search(query, trees, args.tau)
-    for hit in hits:
-        print(f"{hit.index}\t{hit.distance}")
-    print(f"# {len(hits)} trees within tau={args.tau}", file=sys.stderr)
+    collection = TreeCollection.from_file(args.input)
+    # All queries run against one prepared session: the first pays the
+    # per-tau partitioning, the rest hit the warm index.
+    for position, bracket in enumerate(args.query):
+        query = parse_bracket(bracket)
+        plan = collection.search(query, args.tau)
+        if args.explain:
+            print(f"# plan: {json.dumps(plan.explain(), sort_keys=True)}")
+        if len(args.query) > 1:
+            print(f"# query {position}: {bracket}", file=sys.stderr)
+        hits = plan.run()
+        for hit in hits:
+            print(f"{hit.index}\t{hit.distance}")
+        print(f"# {len(hits)} trees within tau={args.tau}", file=sys.stderr)
     return 0
 
 

@@ -71,7 +71,7 @@ from __future__ import annotations
 import random
 import time
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.baselines.common import (
@@ -93,9 +93,10 @@ from repro.core.partition import (
 from repro.core.subgraph import MatchSemantics
 from repro.core.treecache import TreeCache
 from repro.errors import InvalidParameterError
+from repro.params import check_workers
 from repro.tree.node import Tree
 
-__all__ = ["PartSJConfig", "ShardDriver", "partsj_join"]
+__all__ = ["PartSJConfig", "PreparedJoinState", "ShardDriver", "partsj_join"]
 
 
 @dataclass(frozen=True)
@@ -150,10 +151,7 @@ class PartSJConfig:
                 f"unknown postorder numbering {self.postorder_numbering!r}; "
                 "use 'general' or 'binary'"
             )
-        if not isinstance(self.workers, int) or self.workers < 1:
-            raise InvalidParameterError(
-                f"workers must be an integer >= 1, got {self.workers!r}"
-            )
+        check_workers(self.workers)
         return PartSJConfig(
             semantics=MatchSemantics.coerce(self.semantics),
             postorder_filter=PostorderFilter.coerce(self.postorder_filter),
@@ -170,6 +168,46 @@ class PartSJConfig:
             semantics=MatchSemantics.PAPER,
             postorder_filter=PostorderFilter.PAPER,
         )
+
+
+@dataclass
+class PreparedJoinState:
+    """Prepared per-collection artifacts a :class:`ShardDriver` can reuse.
+
+    Built (and cached per ``(tau, filter-config)``) by
+    :class:`repro.session.TreeCollection`; ``partsj_join`` consumes it via
+    its ``prepared=`` keyword so a warm session skips the preparation
+    phase — sorting, cache construction and partitioning — and pays only
+    probe + index-insert + verification.  Every field mirrors state the
+    serial driver would otherwise build itself, computed in the identical
+    order (ascending size-sorted, gamma hints chained, the random
+    strategy's RNG consumed tree by tree), so results are bit-identical
+    with or without it.
+
+    Attributes
+    ----------
+    collection:
+        The size-sorted view of the trees (tau-independent).
+    interner:
+        The collection-wide label interner all caches share.
+    caches:
+        ``original index -> TreeCache``; missing entries are built on
+        demand into this dict, so later queries reuse them.
+    partitions:
+        ``original index -> list[Subgraph]`` for every partitionable tree
+        (size ``>= 2*tau + 1``); small trees are absent and take the
+        driver's small-pool path unchanged.
+    gammas:
+        ``original index -> gamma`` actually used by the stored partition
+        (for the random strategy, the minimum subgraph size), keeping the
+        driver's ``gamma_total`` counter identical to an unprepared run.
+    """
+
+    collection: SizeSortedCollection
+    interner: LabelInterner
+    caches: dict = field(default_factory=dict)
+    partitions: dict = field(default_factory=dict)
+    gammas: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -253,6 +291,7 @@ class ShardDriver:
         trees: Sequence[Tree],
         tau: int,
         config: Optional[PartSJConfig] = None,
+        prepared: Optional[PreparedJoinState] = None,
     ):
         cfg = (config or PartSJConfig()).resolved()
         self.trees = trees
@@ -262,8 +301,16 @@ class ShardDriver:
         self.numbering = cfg.postorder_numbering
         self.index = InvertedSizeIndex(tau, cfg.postorder_filter)
         # One interner per driver: all caches (probe and stored sides)
-        # share it, and the packed-key label budget is per shard.
-        self.interner = LabelInterner()
+        # share it, and the packed-key label budget is per shard.  A
+        # prepared session hands in its collection-wide interner, cache
+        # store and precomputed partitions instead; the driver then skips
+        # cache construction and partitioning but runs the identical
+        # probe/insert discipline (see PreparedJoinState).
+        self.prepared = prepared
+        self.interner = (
+            prepared.interner if prepared is not None else LabelInterner()
+        )
+        self._caches = prepared.caches if prepared is not None else None
         self.counters = _ProbeCounters()
         self.checked: set[tuple[int, int]] = set()
         self.small_pool: list[tuple[int, int]] = []  # (original index, size)
@@ -288,7 +335,7 @@ class ShardDriver:
         candidates: list[int] = []
 
         if n >= self.min_size:
-            cache = TreeCache(tree, self.interner)
+            cache = self._cache_for(i)
             _probe_index(
                 self.index, cache, i, n, tau, self.min_size, self.semantics,
                 checked, candidates, counters, self.numbering,
@@ -372,7 +419,7 @@ class ShardDriver:
         n = tree.size
         start = time.perf_counter()
         if n >= self.min_size:
-            cache = TreeCache(tree, self.interner)
+            cache = self._cache_for(i)
             subgraphs = self._partition(cache, i, owned=False)
             self.index.insert_all(n, subgraphs)
             self.counters.band_subgraphs += len(subgraphs)
@@ -381,8 +428,26 @@ class ShardDriver:
         self.counters.band_trees += 1
         self.band_time += time.perf_counter() - start
 
+    def _cache_for(self, i: int) -> TreeCache:
+        """Tree ``i``'s flat-array cache, shared with the session if any."""
+        caches = self._caches
+        if caches is None:
+            return TreeCache(self.trees[i], self.interner)
+        cache = caches.get(i)
+        if cache is None:
+            cache = TreeCache(self.trees[i], self.interner)
+            caches[i] = cache
+        return cache
+
     def _partition(self, cache: TreeCache, i: int, owned: bool):
         """Cut tree ``i`` into ``delta`` subgraphs per the configured strategy."""
+        prepared = self.prepared
+        if prepared is not None:
+            subgraphs = prepared.partitions.get(i)
+            if subgraphs is not None:
+                if owned:
+                    self.counters.gamma_total += prepared.gammas[i]
+                return subgraphs
         if self.config.partition_strategy == "random":
             subgraphs = extract_random_partition(
                 cache, i, self.delta, self.rng, self.numbering
@@ -404,6 +469,9 @@ def partsj_join(
     trees: Sequence[Tree],
     tau: int,
     config: Optional[PartSJConfig] = None,
+    *,
+    prepared: Optional[PreparedJoinState] = None,
+    verifier: Optional[Verifier] = None,
 ) -> JoinResult:
     """The PartSJ similarity self-join (``PRT`` in the paper's figures).
 
@@ -417,6 +485,14 @@ def partsj_join(
         Filter variants; defaults to the provably-exact configuration.
         ``config.workers > 1`` runs the sharded multiprocess executor of
         :mod:`repro.parallel.executor` (identical pairs and distances).
+    prepared:
+        Session-prepared artifacts (:class:`PreparedJoinState`): the
+        size-sorted order, shared interner/caches and per-tau partitions
+        are consumed instead of rebuilt.  Results are bit-identical with
+        or without it; only the preparation cost disappears.
+    verifier:
+        A pre-built verification engine (sessions pass one whose per-tree
+        annotation and feature caches are shared across queries).
 
     >>> a = Tree.from_bracket("{a{b}{c{d}{e}}{f}}")
     >>> b = Tree.from_bracket("{a{b}{c{d}{e}}{g}}")
@@ -428,12 +504,16 @@ def partsj_join(
     if cfg.workers > 1:
         from repro.parallel.executor import parallel_partsj_join
 
-        return parallel_partsj_join(trees, tau, cfg)
+        return parallel_partsj_join(trees, tau, cfg, prepared=prepared)
 
     stats = JoinStats(method="PRT", tau=tau, tree_count=len(trees))
-    collection = SizeSortedCollection(trees)
-    verifier = Verifier(trees, tau)
-    driver = ShardDriver(trees, tau, cfg)
+    collection = (
+        prepared.collection if prepared is not None
+        else SizeSortedCollection(trees)
+    )
+    if verifier is None:
+        verifier = Verifier(trees, tau)
+    driver = ShardDriver(trees, tau, cfg, prepared=prepared)
     pairs: list[JoinPair] = []
 
     for position in range(len(collection)):

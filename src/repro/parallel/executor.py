@@ -117,21 +117,32 @@ def parallel_partsj_join(
     trees: Sequence[Tree],
     tau: int,
     config: Optional[PartSJConfig] = None,
+    *,
+    prepared=None,
 ) -> JoinResult:
-    """PartSJ over ``config.workers`` processes; serial-identical results."""
+    """PartSJ over ``config.workers`` processes; serial-identical results.
+
+    ``prepared`` (a :class:`repro.core.join.PreparedJoinState`) lets a
+    session reuse its size-sorted view for shard planning and keeps the
+    serial fallbacks warm; the per-shard caches and partitions stay
+    process-local — they cannot cross the pool boundary.
+    """
     check_join_inputs(trees, tau)
     cfg = (config or PartSJConfig()).resolved()
     workers = cfg.workers
     serial_cfg = replace(cfg, workers=1)
     if workers <= 1 or len(trees) < 2:
-        return partsj_join(trees, tau, serial_cfg)
+        return partsj_join(trees, tau, serial_cfg, prepared=prepared)
 
     plan_start = time.perf_counter()
-    collection = SizeSortedCollection(trees)
+    collection = (
+        prepared.collection if prepared is not None
+        else SizeSortedCollection(trees)
+    )
     plans = plan_shards(collection, tau, workers)
     plan_time = time.perf_counter() - plan_start
     if len(plans) <= 1:
-        return partsj_join(trees, tau, serial_cfg)
+        return partsj_join(trees, tau, serial_cfg, prepared=prepared)
 
     stats = JoinStats(method="PRT", tau=tau, tree_count=len(trees))
     with open_pool(trees, tau, workers, config=serial_cfg) as pool:

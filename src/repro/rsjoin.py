@@ -1,28 +1,31 @@
 """Non-self (R x S) similarity joins.
 
 The paper focuses on self-joins but notes (Section 1) that the solution
-"is directly applicable for non-self joins".  This module provides that
-form: given two collections ``left`` and ``right`` and a threshold
-``tau``, report all cross pairs ``(i, j)`` with
-``TED(left[i], right[j]) <= tau``.
-
-Implementation: the two collections are concatenated and processed by the
-chosen self-join method — every filter of the self-join (size window,
-subgraph containment, string/branch bounds) applies unchanged to the
-merged collection — and same-side pairs are discarded from the output.
-This is exactly the paper's "directly applicable" construction.  Note the
-filters still evaluate same-side pairs, so a candidate count from the
-underlying self-join over-approximates the cross-join's; the returned
+"is directly applicable for non-self joins".  This module keeps the
+historical one-shot entry point for that form as a thin shim over
+:meth:`repro.session.TreeCollection.join_with`: the two collections are
+merged, processed by the chosen self-join method — every filter of the
+self-join (size window, subgraph containment, string/branch bounds)
+applies unchanged to the merged collection — and same-side pairs are
+discarded from the output.  Note the filters still evaluate same-side
+pairs, so a candidate count from the underlying self-join
+over-approximates the cross-join's; the returned
 :class:`~repro.baselines.common.JoinStats` records both
 (``extra["cross_pairs"]`` vs ``extra["same_side_pairs_discarded"]``).
+
+For repeated R×S queries, prepare both sides once and reuse them::
+
+    left_col = TreeCollection.from_trees(left)
+    plan = left_col.join_with(right, tau)     # merged prep cached
+    plan.run(); left_col.join_with(right, 3).run()  # no re-prepare
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.api import similarity_join
 from repro.baselines.common import JoinPair, JoinResult
+from repro.session import TreeCollection
 from repro.tree.node import Tree
 
 __all__ = ["similarity_join_rs", "RSJoinPair"]
@@ -36,41 +39,34 @@ def similarity_join_rs(
     right: Sequence[Tree],
     tau: int,
     method: str = "partsj",
+    workers: int = 1,
     **options,
 ) -> JoinResult:
-    """All pairs ``(i, j)`` with ``TED(left[i], right[j]) <= tau``.
+    """All pairs ``(i, j)`` with ``TED(left[i], right[j]) <= tau`` (shim).
 
     Parameters
     ----------
     left, right:
         The two collections.  Result pairs have ``pair.i`` indexing
         ``left`` and ``pair.j`` indexing ``right``.
-    method, options:
-        Forwarded to :func:`repro.api.similarity_join`.
+    method:
+        Any registered self-join method (default ``"partsj"``).
+    workers:
+        Worker process count (an integer >= 1; composes with ``config=``
+        exactly as in :func:`repro.api.similarity_join`).
+    options:
+        Method-specific options, e.g. ``config=PartSJConfig.paper()``.
 
     >>> left = [Tree.from_bracket("{a{b}{c}}")]
     >>> right = [Tree.from_bracket("{a{b}}"), Tree.from_bracket("{z}")]
     >>> [(p.i, p.j, p.distance) for p in similarity_join_rs(left, right, 1).pairs]
     [(0, 0, 1)]
     """
-    merged = list(left) + list(right)
-    offset = len(left)
-    inner = similarity_join(merged, tau, method=method, **options)
+    from repro.api import _warn_shim
 
-    cross: list[JoinPair] = []
-    discarded = 0
-    for pair in inner.pairs:
-        # Merged-index pairs are canonical (i < j); a cross pair has its
-        # low index in `left` and its high index in `right`.
-        if pair.i < offset <= pair.j:
-            cross.append(JoinPair(pair.i, pair.j - offset, pair.distance))
-        else:
-            discarded += 1
-
-    stats = inner.stats
-    stats.method = f"{stats.method}-RS"
-    stats.results = len(cross)
-    stats.extra["cross_pairs"] = len(cross)
-    stats.extra["same_side_pairs_discarded"] = discarded
-    cross.sort(key=lambda p: (p.i, p.j))
-    return JoinResult(pairs=cross, stats=stats)
+    _warn_shim("similarity_join_rs")
+    return (
+        TreeCollection.from_trees(left)
+        .join_with(right, tau, method=method, workers=workers, **options)
+        .run()
+    )

@@ -9,9 +9,15 @@ query is the size-wise larger side, at least one subgraph of the candidate
 would survive — here evaluated directly by matching each collection tree's
 partition against the query (Lemma 2 with the candidate as ``T_B1``).
 
-For one-off searches this filter pays off once the collection is reused:
-:class:`SimilaritySearcher` partitions and indexes the collection per
-``tau`` lazily and can then serve many queries.
+:class:`SimilaritySearcher` consumes a prepared
+:class:`repro.session.TreeCollection`: the sorted order, interner, tree
+caches, per-tau partitions and the fully populated two-layer index all
+come from the session's ``prepare(tau, config)`` artifact, so a searcher
+over an already-joined collection builds nothing, and many searchers
+(one per tau) share one collection's caches.  Passing a plain tree
+sequence still works — a one-shot session is created behind the scenes —
+and :func:`similarity_search` stays as the one-call shim over exactly
+that.
 
 The candidate-generation steps are factored into overridable hooks
 (``_forward_candidates`` / ``_upper_candidates`` / ``_size_window``):
@@ -28,18 +34,13 @@ import bisect
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.baselines.common import Verifier
-from repro.core.index import InvertedSizeIndex, probe_all_packed
-from repro.core.intern import LabelInterner, search_keys
+from repro.baselines.common import Verifier, VerifierCaches
+from repro.core.index import probe_all_packed
+from repro.core.intern import search_keys
 from repro.core.join import PartSJConfig
-from repro.core.partition import (
-    extract_partition,
-    max_min_size_cached,
-    min_partitionable_size,
-)
 from repro.core.subgraph import MatchSemantics
 from repro.core.treecache import TreeCache
-from repro.errors import InvalidParameterError
+from repro.params import check_tau
 from repro.tree.node import Tree
 
 __all__ = ["SearchHit", "SimilaritySearcher", "similarity_search"]
@@ -53,53 +54,99 @@ class SearchHit:
     distance: int
 
 
+class _QueryLocalDict:
+    """A verifier-cache view that keeps one key private per search.
+
+    Collection-tree entries read from and write through to the session's
+    shared dict (so annotation/feature work accumulates across queries at
+    O(1) per access), while the query's borrowed index — ``len(trees)``,
+    which every search reuses — lives in a per-search slot that never
+    touches shared state.  Supports exactly the operations
+    :class:`~repro.baselines.common.Verifier` performs: ``get`` and item
+    assignment.
+    """
+
+    __slots__ = ("_shared", "_query_index", "_query_value")
+
+    def __init__(self, shared: dict, query_index: int):
+        self._shared = shared
+        self._query_index = query_index
+        self._query_value = None
+
+    def get(self, key, default=None):
+        if key == self._query_index:
+            value = self._query_value
+            return value if value is not None else default
+        return self._shared.get(key, default)
+
+    def __setitem__(self, key, value) -> None:
+        if key == self._query_index:
+            self._query_value = value
+        else:
+            self._shared[key] = value
+
+
+class _QueryLocalCaches:
+    """Per-search :class:`VerifierCaches` facade over the shared ones."""
+
+    __slots__ = ("annotated", "mirrored", "features")
+
+    def __init__(self, shared: VerifierCaches, query_index: int):
+        self.annotated = _QueryLocalDict(shared.annotated, query_index)
+        self.mirrored = _QueryLocalDict(shared.mirrored, query_index)
+        self.features = _QueryLocalDict(shared.features, query_index)
+
+
 class SimilaritySearcher:
-    """Reusable searcher over a fixed collection.
+    """Reusable searcher over a prepared collection.
 
     Parameters
     ----------
     trees:
-        The collection to search.
+        The collection to search: a :class:`repro.session.TreeCollection`
+        (its ``prepare(tau, config)`` artifacts — partitions, two-layer
+        index, interner, caches — are consumed, not rebuilt) or a plain
+        tree sequence (a one-shot session is created internally).
     tau:
         The TED threshold all queries will use.
     config:
         PartSJ filter configuration (defaults to the exact-safe one).
     """
 
+    # Overridden per instance when constructed from a session; the
+    # streaming subclass (which skips this constructor) inherits None and
+    # keeps its historical per-search verifier behavior.
+    _verifier_caches = None
+
     def __init__(
         self,
-        trees: Sequence[Tree],
+        trees: "Sequence[Tree]",
         tau: int,
         config: Optional[PartSJConfig] = None,
     ):
-        if tau < 0:
-            raise InvalidParameterError(f"tau must be >= 0, got {tau}")
-        self.trees = trees
+        # Deferred import: the session module imports this one.
+        from repro.session import TreeCollection
+
+        check_tau(tau)
+        if isinstance(trees, TreeCollection):
+            collection = trees
+        else:
+            collection = TreeCollection.from_trees(trees)
+        prep = collection.prepare(tau, config)
+        self.collection = collection
+        self.trees = collection.trees
         self.tau = tau
-        self.config = (config or PartSJConfig()).resolved()
-        self._index = InvertedSizeIndex(tau, self.config.postorder_filter)
-        self._min_size = min_partitionable_size(tau)
-        self._small: list[int] = []  # indices of unpartitionable trees
-        self._sizes_sorted: list[tuple[int, int]] = sorted(
-            (tree.size, i) for i, tree in enumerate(trees)
+        self.config = prep.config
+        self._index = prep.search_index()
+        self._min_size = prep.min_size
+        self._small: list[int] = list(prep.small)  # unpartitionable trees
+        # Ascending (size, original index); the batch hooks bisect it.
+        self._sizes_sorted: list[tuple[int, int]] = list(
+            zip(collection.sorted.sizes, collection.sorted.order)
         )
-        # One interner per searcher bounds the packed-key label budget to
-        # this collection; queries intern into the same table.
-        self._interner = LabelInterner()
-        delta = 2 * tau + 1
-        gamma_hint = None  # warm-start: near-duplicate trees share gamma
-        for i, tree in enumerate(trees):
-            if tree.size >= self._min_size:
-                cache = TreeCache(tree, interner=self._interner)
-                gamma = max_min_size_cached(cache, delta, hint=gamma_hint)
-                gamma_hint = gamma
-                subgraphs = extract_partition(
-                    cache, i, delta, gamma, self.config.postorder_numbering,
-                    check=False,
-                )
-                self._index.insert_all(tree.size, subgraphs)
-            else:
-                self._small.append(i)
+        # The collection-wide interner; queries intern into the same table.
+        self._interner = collection.interner
+        self._verifier_caches = collection.verifier_caches
 
     def _size_window(self, size: int) -> list[int]:
         """Indices of collection trees with size within ``tau`` of ``size``."""
@@ -162,8 +209,18 @@ class SimilaritySearcher:
         self._forward_candidates(cache, candidates)
         self._upper_candidates(cache, candidates)
 
-        verifier = Verifier(list(self.trees) + [query], self.tau)
+        shared = self._verifier_caches
         query_index = len(self.trees)
+        if shared is None:
+            caches = None
+        else:
+            # The query borrows index len(trees), which every search
+            # reuses — route it to a per-search slot while collection
+            # entries keep reading/writing the shared dicts directly.
+            caches = _QueryLocalCaches(shared, query_index)
+        verifier = Verifier(
+            list(self.trees) + [query], self.tau, caches=caches
+        )
         hits = []
         for i in sorted(candidates):
             distance = verifier.verify(i, query_index)
@@ -178,10 +235,20 @@ def similarity_search(
     tau: int,
     config: Optional[PartSJConfig] = None,
 ) -> list[SearchHit]:
-    """One-shot similarity search (builds a searcher and discards it).
+    """One-shot similarity search (a shim: prepares a session, discards it).
+
+    For many queries over one collection, prepare once instead:
+    ``TreeCollection.from_trees(trees).searcher(tau)`` (or per-query
+    ``col.search(query, tau).run()``).
 
     >>> trees = [Tree.from_bracket(s) for s in ("{a{b}{c}}", "{x{y{z}}}")]
     >>> [h.index for h in similarity_search(Tree.from_bracket("{a{b}}"), trees, 1)]
     [0]
     """
-    return SimilaritySearcher(trees, tau, config).search(query)
+    from repro.api import _warn_shim
+    from repro.session import TreeCollection
+
+    _warn_shim("similarity_search")
+    return (
+        TreeCollection.from_trees(trees).search(query, tau, config=config).run()
+    )

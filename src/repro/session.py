@@ -1,0 +1,985 @@
+"""Prepared-once, query-many sessions: :class:`TreeCollection` and its plans.
+
+The paper's pipeline (partition → two-layer index → verify) pays its
+preparation cost once per *collection*; this module makes the public API
+pay it once per collection too.  A :class:`TreeCollection` owns every
+artifact that outlives a single call:
+
+- the size-sorted order (:class:`~repro.baselines.common.SizeSortedCollection`),
+- the collection-wide :class:`~repro.core.intern.LabelInterner` and the
+  per-tree :class:`~repro.core.treecache.TreeCache` flat arrays,
+- the tau-independent verification caches
+  (:class:`~repro.baselines.common.VerifierCaches`: Zhang–Shasha
+  annotations, feature bags),
+- and, lazily per ``(tau, filter config)``, the partitions and two-layer
+  index (:class:`_PreparedTau`) that both the join and the searcher
+  consume.
+
+Queries are *lazy builders*: :meth:`TreeCollection.join`,
+:meth:`~TreeCollection.join_with` (R×S), :meth:`~TreeCollection.search`
+and :meth:`~TreeCollection.stream` each return a :class:`QueryPlan` whose
+:meth:`~QueryPlan.explain` describes the execution (method, filter
+config, shard plan, index statistics) without running anything, and whose
+:meth:`~QueryPlan.run` / :meth:`~QueryPlan.iter` execute it.  Repeated
+queries reuse everything that is reusable: a second identical join is
+served from the result cache, a join at a new tau re-partitions but
+reuses caches and verification state, a search after a join at the same
+tau reuses that tau's partitions outright.
+
+Usage::
+
+    col = TreeCollection.from_file("forest.trees")
+    plan = col.join(tau=2)            # nothing computed yet
+    plan.explain()                     # structured description
+    result = plan.run()                # prepares tau=2, joins
+    col.search(query, tau=2).run()     # reuses the tau=2 preparation
+    col.join(tau=3).run()              # re-partitions only; caches warm
+
+The legacy free functions (:func:`repro.api.similarity_join` and
+friends) remain as thin shims over one-shot sessions and return
+bit-identical results; sessions are how repeated work should be phrased.
+
+Results are bit-identical to the unprepared engines because preparation
+replays exactly what the serial driver would do, in the same order: trees
+are partitioned in ascending size-sorted order, gamma hints chain across
+trees, and the random strategy's RNG is seeded and consumed identically
+(see :class:`repro.core.join.PreparedJoinState`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.baselines.common import (
+    JoinPair,
+    JoinResult,
+    SizeSortedCollection,
+    Verifier,
+    VerifierCaches,
+)
+from repro.baselines.histogram_join import histogram_join
+from repro.baselines.nested_loop import nested_loop_join
+from repro.baselines.set_join import set_join
+from repro.baselines.str_join import str_join
+from repro.core.index import InvertedSizeIndex
+from repro.core.intern import LabelInterner
+from repro.core.join import PartSJConfig, PreparedJoinState, partsj_join
+from repro.core.partition import (
+    extract_partition,
+    extract_random_partition,
+    max_min_size_cached,
+    min_partitionable_size,
+)
+from repro.core.treecache import TreeCache
+from repro.errors import InvalidParameterError
+from repro.params import check_micro_batch, check_tau, check_workers
+from repro.tree.node import Tree
+
+__all__ = [
+    "TreeCollection",
+    "QueryPlan",
+    "JoinPlan",
+    "RSJoinPlan",
+    "SearchPlan",
+    "StreamPlan",
+    "JOIN_METHOD_NAMES",
+]
+
+# Baseline implementations the join plan dispatches to; "partsj"/"prt"
+# take the prepared-session path instead.  Keys mirror the historical
+# ``repro.api.JOIN_METHODS`` registry exactly.
+_BASELINE_IMPLS = {
+    "str": str_join,
+    "set": set_join,
+    "histogram": histogram_join,
+    "nested_loop": nested_loop_join,
+    "rel": nested_loop_join,
+}
+
+# Every accepted method name (aliases included), as the public surface
+# and error messages enumerate them.
+JOIN_METHOD_NAMES = ("histogram", "nested_loop", "partsj", "prt", "rel", "set", "str")
+
+_PARTSJ_NAMES = frozenset(("partsj", "prt"))
+
+
+def _resolve_method(method: str) -> str:
+    key = method.lower() if isinstance(method, str) else method
+    if key not in JOIN_METHOD_NAMES:
+        raise InvalidParameterError(
+            f"unknown join method {method!r}; choose from "
+            f"{sorted(JOIN_METHOD_NAMES)}"
+        )
+    return key
+
+
+def _resolve_partsj_config(
+    config: Optional[PartSJConfig],
+    workers: int,
+    options: dict,
+) -> PartSJConfig:
+    """The historical config/kwargs/workers composition rules, shared by
+    session plans and the one-shot shims.
+
+    ``config=`` and loose filter kwargs are mutually exclusive; ``workers``
+    is an execution knob that composes with either.
+    """
+    if options and config is not None:
+        raise InvalidParameterError(
+            "pass either a PartSJConfig via config= or individual options, "
+            "not both"
+        )
+    if config is None and options:
+        config = PartSJConfig(**options)
+    if workers != 1:
+        config = dataclasses.replace(
+            config or PartSJConfig(), workers=workers
+        )
+    return (config or PartSJConfig()).resolved()
+
+
+class _PreparedTau:
+    """Per-``(tau, filter config)`` artifacts of one collection.
+
+    Holds the partitions (and their gammas) of every partitionable tree,
+    computed exactly as the serial join would; lazily also the fully
+    populated two-layer index the searcher probes.  Cached by
+    :meth:`TreeCollection.prepare`.
+    """
+
+    def __init__(self, collection: "TreeCollection", tau: int, config: PartSJConfig):
+        started = time.perf_counter()
+        self.collection = collection
+        self.tau = tau
+        self.config = config
+        self.delta = 2 * tau + 1
+        self.min_size = min_partitionable_size(tau)
+        self.partitions: dict[int, list] = {}
+        self.gammas: dict[int, int] = {}
+        self.small: list[int] = []  # unpartitionable trees, sorted order
+        rng = random.Random(config.seed)
+        gamma_hint: Optional[int] = None
+        sorted_col = collection.sorted
+        trees = collection.trees
+        for position in range(len(sorted_col)):
+            i = sorted_col.original_index(position)
+            if trees[i].size < self.min_size:
+                self.small.append(i)
+                continue
+            cache = collection.cache(i)
+            if config.partition_strategy == "random":
+                subgraphs = extract_random_partition(
+                    cache, i, self.delta, rng, config.postorder_numbering
+                )
+                gamma = min(sub.size for sub in subgraphs)
+            else:
+                gamma = max_min_size_cached(cache, self.delta, hint=gamma_hint)
+                gamma_hint = gamma
+                subgraphs = extract_partition(
+                    cache, i, self.delta, gamma, config.postorder_numbering,
+                    check=False,
+                )
+            self.partitions[i] = subgraphs
+            self.gammas[i] = gamma
+        self._search_index: Optional[InvertedSizeIndex] = None
+        self._searcher = None
+        self.build_time = time.perf_counter() - started
+
+    def join_state(self) -> PreparedJoinState:
+        """The driver-consumable view (see :class:`PreparedJoinState`)."""
+        col = self.collection
+        return PreparedJoinState(
+            collection=col.sorted,
+            interner=col.interner,
+            caches=col._caches,
+            partitions=self.partitions,
+            gammas=self.gammas,
+        )
+
+    def search_index(self) -> InvertedSizeIndex:
+        """The fully populated two-layer index (built once, reused by
+        every search at this tau)."""
+        if self._search_index is None:
+            col = self.collection
+            index = InvertedSizeIndex(self.tau, self.config.postorder_filter)
+            sorted_col = col.sorted
+            for position in range(len(sorted_col)):
+                i = sorted_col.original_index(position)
+                subgraphs = self.partitions.get(i)
+                if subgraphs is not None:
+                    index.insert_all(col.trees[i].size, subgraphs)
+            self._search_index = index
+        return self._search_index
+
+    def searcher(self):
+        """A reusable :class:`repro.search.SimilaritySearcher` over this
+        preparation (constructed once)."""
+        if self._searcher is None:
+            from repro.search import SimilaritySearcher
+
+            self._searcher = SimilaritySearcher(
+                self.collection, self.tau, self.config
+            )
+        return self._searcher
+
+    def describe(self) -> dict:
+        """Index statistics for :meth:`QueryPlan.explain`."""
+        info = {
+            "tau": self.tau,
+            "partitioned_trees": len(self.partitions),
+            "small_trees": len(self.small),
+            "subgraphs": sum(len(s) for s in self.partitions.values()),
+            "build_time": round(self.build_time, 6),
+            "search_index_built": self._search_index is not None,
+        }
+        if self._search_index is not None:
+            info["index_entries"] = self._search_index.total_entries
+        return info
+
+
+class TreeCollection:
+    """A prepared, queryable collection of trees (the session object).
+
+    Construct with :meth:`from_trees` or :meth:`from_file`; then build
+    queries with :meth:`join`, :meth:`join_with`, :meth:`search` and
+    :meth:`stream`.  All shared state — sorted order, interner, tree
+    caches, per-tau partitions and indexes, verification caches, result
+    cache — lives here and is reused across queries.
+
+    The collection is immutable: the tree list is snapshotted at
+    construction.  For growing collections use the streaming engine
+    (:meth:`stream` / :class:`repro.stream.StreamingJoin`).
+
+    >>> col = TreeCollection.from_trees(
+    ...     [Tree.from_bracket(s) for s in ("{a{b}{c}}", "{a{b}}", "{x{y}}")]
+    ... )
+    >>> sorted(p.key() for p in col.join(1).run().pairs)
+    [(0, 1)]
+    >>> [h.index for h in col.search(Tree.from_bracket("{a{b}}"), 1).run()]
+    [1]
+    """
+
+    def __init__(self, trees: Iterable[Tree]):
+        trees = list(trees)
+        for position, tree in enumerate(trees):
+            if not isinstance(tree, Tree):
+                raise InvalidParameterError(
+                    f"trees[{position}] is {type(tree).__name__}, expected Tree"
+                )
+        self._trees: list[Tree] = trees
+        self._sorted: Optional[SizeSortedCollection] = None
+        self._interner: Optional[LabelInterner] = None
+        self._caches: dict[int, TreeCache] = {}
+        self._prepared: dict[tuple, _PreparedTau] = {}
+        self._results: dict = {}
+        self._verifier_caches = VerifierCaches()
+        self._merged: dict[int, tuple] = {}  # id(other) -> (other, merged)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_trees(cls, trees: Iterable[Tree]) -> "TreeCollection":
+        """A session over an in-memory collection (the list is copied)."""
+        return cls(trees)
+
+    @classmethod
+    def from_file(cls, path) -> "TreeCollection":
+        """A session over a dataset file (one bracket tree per line,
+        ``.gz`` supported; see :mod:`repro.datasets.io`)."""
+        from repro.datasets.io import load_trees
+
+        return cls(load_trees(path))
+
+    # -- shared state --------------------------------------------------------
+
+    @property
+    def trees(self) -> list[Tree]:
+        """The collection, indexed as every result pair references it."""
+        return self._trees
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+    def __getitem__(self, index: int) -> Tree:
+        return self._trees[index]
+
+    def __iter__(self) -> Iterator[Tree]:
+        return iter(self._trees)
+
+    def __repr__(self) -> str:
+        prepared = sorted({key[0] for key in self._prepared})
+        return (
+            f"TreeCollection({len(self._trees)} trees, "
+            f"prepared taus {prepared or '[]'})"
+        )
+
+    @property
+    def sorted(self) -> SizeSortedCollection:
+        """The size-sorted view (built once, tau-independent)."""
+        if self._sorted is None:
+            self._sorted = SizeSortedCollection(self._trees)
+        return self._sorted
+
+    @property
+    def interner(self) -> LabelInterner:
+        """The collection-wide label interner all caches share."""
+        if self._interner is None:
+            self._interner = LabelInterner()
+        return self._interner
+
+    def cache(self, i: int) -> TreeCache:
+        """Tree ``i``'s flat-array cache (built on first use, kept)."""
+        cache = self._caches.get(i)
+        if cache is None:
+            cache = TreeCache(self._trees[i], self.interner)
+            self._caches[i] = cache
+        return cache
+
+    @property
+    def verifier_caches(self) -> VerifierCaches:
+        """Tau-independent verification caches shared by every query."""
+        return self._verifier_caches
+
+    # -- preparation ---------------------------------------------------------
+
+    @staticmethod
+    def _prep_key(tau: int, config: PartSJConfig) -> tuple:
+        # Every filter field except the execution knob (workers) keys the
+        # preparation.  semantics does not influence the partitions or
+        # the index contents, but the cached searcher carries its
+        # prep.config into query-time matching — sharing a prep across
+        # semantics would silently answer a "safe" search with "paper"
+        # strictness (or vice versa).
+        return (
+            tau,
+            config.semantics,
+            config.partition_strategy,
+            config.seed,
+            config.postorder_numbering,
+            config.postorder_filter,
+        )
+
+    def prepare(
+        self, tau: int, config: Optional[PartSJConfig] = None
+    ) -> _PreparedTau:
+        """Partition the collection for ``tau`` (cached per filter config).
+
+        Idempotent and lazy: the first call at a ``(tau, config)`` pays
+        the partitioning pass; later joins and searches at the same key
+        reuse it.  Returns the prepared artifact (mostly useful for its
+        :meth:`_PreparedTau.describe` statistics).
+        """
+        prep, _ = self._prepare_entry(check_tau(tau), self._resolved(config))
+        return prep
+
+    def _resolved(self, config: Optional[PartSJConfig]) -> PartSJConfig:
+        return (config or PartSJConfig()).resolved()
+
+    def _prepare_entry(
+        self, tau: int, config: PartSJConfig
+    ) -> tuple[_PreparedTau, bool]:
+        """``(prepared, fresh)`` where ``fresh`` is True when this call
+        built it (the builder's cost then belongs to the running query)."""
+        key = self._prep_key(tau, config)
+        prep = self._prepared.get(key)
+        if prep is not None:
+            return prep, False
+        prep = _PreparedTau(self, tau, config)
+        self._prepared[key] = prep
+        return prep, True
+
+    def is_prepared(
+        self, tau: int, config: Optional[PartSJConfig] = None
+    ) -> bool:
+        """Whether :meth:`prepare` already ran for this ``(tau, config)``."""
+        return self._prep_key(tau, self._resolved(config)) in self._prepared
+
+    def prepared_taus(self) -> list[int]:
+        """Thresholds with at least one prepared artifact (ascending)."""
+        return sorted({key[0] for key in self._prepared})
+
+    def stats(self) -> dict:
+        """Session-level statistics (for diagnostics and the CLI)."""
+        sizes = self.sorted.sizes if self._trees else []
+        return {
+            "trees": len(self._trees),
+            "size_min": sizes[0] if sizes else None,
+            "size_max": sizes[-1] if sizes else None,
+            "tree_caches": len(self._caches),
+            "prepared": [prep.describe() for prep in self._prepared.values()],
+            "cached_results": len(self._results),
+            "verifier_annotations": len(self._verifier_caches.annotated),
+        }
+
+    # -- query builders ------------------------------------------------------
+
+    def join(
+        self,
+        tau: int,
+        method: str = "partsj",
+        workers: int = 1,
+        config: Optional[PartSJConfig] = None,
+        **options,
+    ) -> "JoinPlan":
+        """A lazy self-join plan: all pairs with ``TED <= tau``.
+
+        Validation happens now; execution on :meth:`JoinPlan.run`.
+        ``method``, ``workers``, ``config`` and method-specific
+        ``options`` behave exactly as the historical
+        :func:`repro.api.similarity_join` arguments.
+        """
+        return JoinPlan(self, tau, method, workers, config, options)
+
+    def join_with(
+        self,
+        other: "TreeCollection | Sequence[Tree]",
+        tau: int,
+        method: str = "partsj",
+        workers: int = 1,
+        config: Optional[PartSJConfig] = None,
+        **options,
+    ) -> "RSJoinPlan":
+        """A lazy R×S join plan against ``other`` (non-self join).
+
+        Result pairs have ``pair.i`` indexing this collection and
+        ``pair.j`` indexing ``other``.  The merged preparation is cached
+        (keyed by the ``other`` object itself, whether a
+        :class:`TreeCollection` or a plain sequence), so repeated R×S
+        queries against the same ``other`` (at any tau) re-prepare
+        nothing.
+        """
+        return RSJoinPlan(self, other, tau, method, workers, config, options)
+
+    def search(
+        self,
+        query: Tree,
+        tau: int,
+        config: Optional[PartSJConfig] = None,
+    ) -> "SearchPlan":
+        """A lazy similarity-search plan: collection trees within ``tau``
+        of ``query``.  Repeated searches at one tau share the prepared
+        index and one verifier."""
+        return SearchPlan(self, query, tau, config)
+
+    def searcher(self, tau: int, config: Optional[PartSJConfig] = None):
+        """A reusable searcher over this collection (prepared once).
+
+        Equivalent to running :meth:`search` plans one by one, minus the
+        plan objects; handy in a REPL or a service loop.
+        """
+        return self.prepare(tau, config).searcher()
+
+    def stream(
+        self,
+        tau: int,
+        config: Optional[PartSJConfig] = None,
+        workers: int = 1,
+        micro_batch: int = 1,
+    ) -> "StreamPlan":
+        """A lazy streaming re-play of this collection in arrival order.
+
+        :meth:`StreamPlan.iter` yields verified pairs as they are found —
+        exactly the pairs of :meth:`join` at the same tau, discovered
+        incrementally; :meth:`StreamPlan.engine` instead hands back the
+        live :class:`~repro.stream.StreamingJoin` after pre-loading the
+        collection, for callers who want to keep ingesting.
+        """
+        return StreamPlan(
+            self._trees, tau, config, workers, micro_batch, collection=self
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    # Merged sessions retained per right side; beyond this many distinct
+    # right sides the oldest entry (and its prepared state) is dropped.
+    _MERGED_CACHE_LIMIT = 8
+
+    def _cached_merged_with(
+        self, other: "TreeCollection | Sequence[Tree]"
+    ) -> Optional["TreeCollection"]:
+        """The cached merged session for ``other``, or ``None``.
+
+        A hit requires the same right-side *object* with the same tree
+        objects in it: a ``TreeCollection`` is immutable by contract, but
+        a plain list can be mutated between queries, so its snapshot is
+        re-validated by an O(n) identity scan — a stale merged session
+        must never silently answer for trees it has not seen.
+        """
+        entry = self._merged.get(id(other))
+        if entry is None or entry[0] is not other:
+            return None
+        snapshot = entry[1]
+        if snapshot is not None and (
+            len(snapshot) != len(other)
+            or any(a is not b for a, b in zip(snapshot, other))
+        ):
+            del self._merged[id(other)]
+            return None
+        return entry[2]
+
+    def _merged_with(
+        self, other: "TreeCollection | Sequence[Tree]"
+    ) -> "TreeCollection":
+        """The cached merged session behind R×S joins against ``other``.
+
+        Keyed by the identity of the object the caller passed — a
+        :class:`TreeCollection` or a plain sequence — with a strong
+        reference held so the id stays valid; the cache is bounded so a
+        churn of one-off right sides cannot grow it without limit.
+        """
+        merged = self._cached_merged_with(other)
+        if merged is not None:
+            return merged
+        if isinstance(other, TreeCollection):
+            right_trees, snapshot = other.trees, None
+        else:
+            right_trees = snapshot = list(other)
+        merged = TreeCollection.from_trees(
+            list(self._trees) + list(right_trees)
+        )
+        while len(self._merged) >= self._MERGED_CACHE_LIMIT:
+            self._merged.pop(next(iter(self._merged)))
+        self._merged[id(other)] = (other, snapshot, merged)
+        return merged
+
+    def _cached_result(self, key: Optional[tuple]):
+        return self._results.get(key) if key is not None else None
+
+    def _store_result(self, key: Optional[tuple], result) -> None:
+        if key is not None:
+            self._results[key] = result
+
+
+class QueryPlan:
+    """A validated, not-yet-executed query over a :class:`TreeCollection`.
+
+    Subclasses implement :meth:`run` (execute, return the result),
+    :meth:`iter` (element-wise iteration) and :meth:`explain` (a
+    structured, side-effect-light description of what :meth:`run` would
+    do).  Plans are cheap to build and reusable; running one twice
+    returns the session's cached result where the query is cacheable.
+    """
+
+    kind = "query"
+
+    def run(self):
+        raise NotImplementedError
+
+    def iter(self):
+        return iter(self.run())
+
+    def explain(self) -> dict:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        try:
+            detail = self.explain()
+        except Exception:  # pragma: no cover - defensive repr
+            detail = {}
+        summary = ", ".join(
+            f"{k}={detail[k]!r}" for k in ("method", "tau", "workers")
+            if k in detail and detail[k] is not None
+        )
+        return f"{type(self).__name__}({summary})"
+
+
+class JoinPlan(QueryPlan):
+    """Self-join plan built by :meth:`TreeCollection.join`."""
+
+    kind = "join"
+
+    def __init__(
+        self,
+        collection: TreeCollection,
+        tau: int,
+        method: str,
+        workers: int,
+        config: Optional[PartSJConfig],
+        options: dict,
+    ):
+        self.collection = collection
+        self.tau = check_tau(tau)
+        self.method = _resolve_method(method)
+        self.workers = check_workers(workers)
+        if self.method in _PARTSJ_NAMES:
+            self.config = _resolve_partsj_config(config, self.workers, options)
+            # The resolved config is authoritative for execution — a
+            # PartSJConfig(workers=N) composes exactly like workers=N, so
+            # explain() and the shard-plan gate must report it.
+            self.workers = self.config.workers
+            self.options: dict = {}
+        else:
+            if config is not None:
+                raise InvalidParameterError(
+                    f"config= is a PartSJ option; method {self.method!r} "
+                    "takes its own keyword options"
+                )
+            self.config = None
+            self.options = dict(options)
+
+    def _cache_key(self) -> Optional[tuple]:
+        if self.config is not None:
+            return ("join", self.tau, "partsj", self.config)
+        try:
+            options = tuple(sorted(self.options.items()))
+            hash(options)
+        except TypeError:
+            return None
+        return ("join", self.tau, self.method, self.workers, options)
+
+    def run(self) -> JoinResult:
+        """Execute (or fetch from the session's result cache).
+
+        The returned :class:`~repro.baselines.common.JoinResult` may be
+        served to later identical queries — treat it as read-only.
+        """
+        col = self.collection
+        key = self._cache_key()
+        cached = col._cached_result(key)
+        if cached is not None:
+            return cached
+        if self.config is not None:
+            result = self._run_partsj()
+        else:
+            impl = _BASELINE_IMPLS[self.method]
+            options = dict(self.options)
+            if self.workers != 1:
+                options["workers"] = self.workers
+            result = impl(col.trees, self.tau, **options)
+        col._store_result(key, result)
+        return result
+
+    def _run_partsj(self) -> JoinResult:
+        col = self.collection
+        cfg = self.config
+        if cfg.workers > 1:
+            # Worker processes rebuild their shard-local caches and
+            # partitions (prepared state cannot cross the pool boundary);
+            # the executor consumes the prepared sorted order for shard
+            # planning, and its serial fallbacks (tiny collections,
+            # single-shard plans) run warm off the same state.  Reuse the
+            # full per-tau partitions when this session already has them;
+            # otherwise hand over a bare state rather than paying a
+            # partitioning pass the workers would ignore.
+            if col.is_prepared(self.tau, cfg):
+                state = col.prepare(self.tau, cfg).join_state()
+            else:
+                state = PreparedJoinState(
+                    collection=col.sorted,
+                    interner=col.interner,
+                    caches=col._caches,
+                )
+            return partsj_join(col.trees, self.tau, cfg, prepared=state)
+        prep, fresh = col._prepare_entry(self.tau, cfg)
+        verifier = Verifier(col.trees, self.tau, caches=col.verifier_caches)
+        result = partsj_join(
+            col.trees, self.tau, cfg,
+            prepared=prep.join_state(), verifier=verifier,
+        )
+        # Keep the paper's two-phase accounting intact: a cold run did
+        # the partitioning inside prepare(), so its cost is folded back
+        # into the index-build phase; a warm run genuinely skipped it.
+        if fresh:
+            result.stats.index_time += prep.build_time
+            result.stats.candidate_time += prep.build_time
+        result.stats.extra["prep_time"] = round(prep.build_time, 6)
+        result.stats.extra["prep_reused"] = not fresh
+        return result
+
+    def iter(self) -> Iterator[JoinPair]:
+        return iter(self.run().pairs)
+
+    def explain(self) -> dict:
+        col = self.collection
+        plan = {
+            "kind": self.kind,
+            "method": "partsj" if self.config is not None else self.method,
+            "tau": self.tau,
+            "workers": self.workers,
+            "collection": {
+                "trees": len(col),
+                "size_min": col.sorted.sizes[0] if len(col) else None,
+                "size_max": col.sorted.sizes[-1] if len(col) else None,
+            },
+            "cached_result": col._cached_result(self._cache_key()) is not None,
+        }
+        if self.config is not None:
+            cfg = self.config
+            plan["filter"] = {
+                "semantics": getattr(cfg.semantics, "value", cfg.semantics),
+                "postorder_filter": getattr(
+                    cfg.postorder_filter, "value", cfg.postorder_filter
+                ),
+                "partition_strategy": cfg.partition_strategy,
+                "postorder_numbering": cfg.postorder_numbering,
+                "seed": cfg.seed,
+            }
+            plan["small_tree_floor"] = min_partitionable_size(self.tau)
+            plan["prepared"] = col.is_prepared(self.tau, cfg)
+            if plan["prepared"]:
+                plan["index"] = col.prepare(self.tau, cfg).describe()
+            if self.workers > 1:
+                from repro.parallel.sharding import plan_shards
+
+                plan["shards"] = [
+                    {
+                        "shard": shard.shard_id,
+                        "owned_trees": len(shard.owned),
+                        "band_trees": len(shard.band),
+                        "size_range": [shard.lo, shard.hi],
+                        "est_cost": shard.est_cost,
+                    }
+                    for shard in plan_shards(col.sorted, self.tau, self.workers)
+                ]
+        else:
+            plan["options"] = dict(self.options)
+        return plan
+
+
+class RSJoinPlan(QueryPlan):
+    """R×S join plan built by :meth:`TreeCollection.join_with`.
+
+    Implements the paper's "directly applicable" construction: the two
+    collections are merged, self-joined, and same-side pairs discarded.
+    The merged session is cached on the left collection, so repeated R×S
+    queries (any tau, any method) against the same right side prepare
+    nothing twice.
+    """
+
+    kind = "rs_join"
+
+    def __init__(
+        self,
+        left: TreeCollection,
+        right: "TreeCollection | Sequence[Tree]",
+        tau: int,
+        method: str,
+        workers: int,
+        config: Optional[PartSJConfig],
+        options: dict,
+    ):
+        self.left = left
+        self.right = right  # kept as passed: it keys the merged cache
+        # Validate eagerly with the same rules as a self-join plan.
+        self._inner_args = (tau, method, workers, config, options)
+        self._template = JoinPlan(left, tau, method, workers, config, options)
+
+    @property
+    def tau(self) -> int:
+        return self._template.tau
+
+    @property
+    def workers(self) -> int:
+        return self._template.workers
+
+    def _inner_plan(self) -> JoinPlan:
+        tau, method, workers, config, options = self._inner_args
+        merged = self.left._merged_with(self.right)
+        return JoinPlan(merged, tau, method, workers, config, dict(options))
+
+    def run(self) -> JoinResult:
+        """All cross pairs ``(i, j)`` with ``TED(left[i], right[j]) <= tau``."""
+        inner = self._inner_plan().run()
+        offset = len(self.left)
+        cross: list[JoinPair] = []
+        discarded = 0
+        for pair in inner.pairs:
+            # Merged-index pairs are canonical (i < j); a cross pair has
+            # its low index in `left` and its high index in `right`.
+            if pair.i < offset <= pair.j:
+                cross.append(JoinPair(pair.i, pair.j - offset, pair.distance))
+            else:
+                discarded += 1
+        # The inner result may be cached on the merged session — derive
+        # the RS stats on a copy instead of mutating it.
+        stats = dataclasses.replace(inner.stats)
+        stats.extra = dict(inner.stats.extra)
+        stats.method = f"{inner.stats.method}-RS"
+        stats.results = len(cross)
+        stats.extra["cross_pairs"] = len(cross)
+        stats.extra["same_side_pairs_discarded"] = discarded
+        cross.sort(key=lambda p: (p.i, p.j))
+        return JoinResult(pairs=cross, stats=stats)
+
+    def iter(self) -> Iterator[JoinPair]:
+        return iter(self.run().pairs)
+
+    def explain(self) -> dict:
+        # explain() must not build the merged session (plans run nothing
+        # until .run()): describe through it only when a previous run
+        # already materialized it; otherwise report the not-yet-merged
+        # shape from the validated template.
+        merged = self.left._cached_merged_with(self.right)
+        if merged is not None:
+            tau, method, workers, config, options = self._inner_args
+            plan = JoinPlan(
+                merged, tau, method, workers, config, dict(options)
+            ).explain()
+        else:
+            template = self._template
+            plan = {
+                "kind": self.kind,
+                "method": (
+                    "partsj" if template.config is not None else template.method
+                ),
+                "tau": template.tau,
+                "workers": template.workers,
+                "collection": {
+                    "trees": len(self.left) + len(self.right),
+                    "size_min": None,  # merged session not built yet
+                    "size_max": None,
+                },
+                "prepared": False,
+                "cached_result": False,
+            }
+            if template.config is not None:
+                cfg = template.config
+                plan["filter"] = {
+                    "semantics": getattr(cfg.semantics, "value", cfg.semantics),
+                    "postorder_filter": getattr(
+                        cfg.postorder_filter, "value", cfg.postorder_filter
+                    ),
+                    "partition_strategy": cfg.partition_strategy,
+                    "postorder_numbering": cfg.postorder_numbering,
+                    "seed": cfg.seed,
+                }
+                plan["small_tree_floor"] = min_partitionable_size(template.tau)
+            else:
+                plan["options"] = dict(template.options)
+        plan["kind"] = self.kind
+        plan["left_trees"] = len(self.left)
+        plan["right_trees"] = len(self.right)
+        return plan
+
+
+class SearchPlan(QueryPlan):
+    """Similarity-search plan built by :meth:`TreeCollection.search`."""
+
+    kind = "search"
+
+    def __init__(
+        self,
+        collection: TreeCollection,
+        query: Tree,
+        tau: int,
+        config: Optional[PartSJConfig],
+    ):
+        if not isinstance(query, Tree):
+            raise InvalidParameterError(
+                f"query must be a Tree, got {type(query).__name__}"
+            )
+        self.collection = collection
+        self.query = query
+        self.tau = check_tau(tau)
+        self.config = collection._resolved(config)
+
+    def run(self) -> list:
+        """All collection trees with ``TED(query, tree) <= tau``, as
+        :class:`repro.search.SearchHit` objects."""
+        return self.collection.prepare(self.tau, self.config).searcher().search(
+            self.query
+        )
+
+    def explain(self) -> dict:
+        col = self.collection
+        prepared = col.is_prepared(self.tau, self.config)
+        plan = {
+            "kind": self.kind,
+            "method": "partsj-index",
+            "tau": self.tau,
+            "workers": 1,
+            "query_size": self.query.size,
+            "collection": {
+                "trees": len(col),
+                "size_min": col.sorted.sizes[0] if len(col) else None,
+                "size_max": col.sorted.sizes[-1] if len(col) else None,
+            },
+            "prepared": prepared,
+            "small_tree_floor": min_partitionable_size(self.tau),
+        }
+        if prepared:
+            plan["index"] = col.prepare(self.tau, self.config).describe()
+        return plan
+
+
+class StreamPlan(QueryPlan):
+    """Streaming plan: re-play a source through the incremental engine.
+
+    Built by :meth:`TreeCollection.stream` (source = the collection's
+    trees in arrival order) or by the :func:`repro.api.stream_join` shim
+    (source = any iterable, consumed lazily).  Preparation cannot be
+    reused here by design — the streaming engine builds its own state
+    incrementally — which :meth:`explain` reports honestly.
+    """
+
+    kind = "stream"
+
+    def __init__(
+        self,
+        source: Iterable[Tree],
+        tau: int,
+        config: Optional[PartSJConfig] = None,
+        workers: int = 1,
+        micro_batch: int = 1,
+        collection: Optional[TreeCollection] = None,
+    ):
+        self.source = source
+        self.tau = check_tau(tau)
+        self.config = config
+        self.workers = check_workers(workers)
+        self.micro_batch = check_micro_batch(micro_batch)
+        self.collection = collection
+
+    def iter(self) -> Iterator[JoinPair]:
+        """Yield verified pairs as they are found (lazy in the source)."""
+        return self._generate()
+
+    def _generate(self) -> Iterator[JoinPair]:
+        from repro.stream.engine import StreamingJoin
+
+        with StreamingJoin(
+            self.tau, config=self.config, workers=self.workers
+        ) as join:
+            batch: list[Tree] = []
+            for tree in self.source:
+                batch.append(tree)
+                if len(batch) >= self.micro_batch:
+                    yield from join.add_many(batch)
+                    batch.clear()
+            if batch:
+                yield from join.add_many(batch)
+            yield from join.flush()
+
+    def run(self) -> list[JoinPair]:
+        """Drain the stream; the pairs equal a batch join of the source."""
+        return list(self.iter())
+
+    def engine(self):
+        """A live :class:`~repro.stream.StreamingJoin` pre-loaded with the
+        source — the warm-handoff path for callers who keep ingesting.
+        Pairs found during pre-load are in ``engine.pairs``; the caller
+        owns the engine's lifecycle (``close()`` / context manager).
+        """
+        from repro.stream.engine import StreamingJoin
+
+        join = StreamingJoin(self.tau, config=self.config, workers=self.workers)
+        join.add_many(self.source)
+        return join
+
+    def explain(self) -> dict:
+        return {
+            "kind": self.kind,
+            "method": "partsj-stream",
+            "tau": self.tau,
+            "workers": self.workers,
+            "micro_batch": self.micro_batch,
+            "source": (
+                {"trees": len(self.collection)}
+                if self.collection is not None
+                else {"trees": None}  # lazy iterable; length unknown
+            ),
+            "prepared": False,  # the engine builds its own state incrementally
+        }

@@ -56,6 +56,7 @@ from repro.core.subgraph import MatchSemantics
 from repro.core.treecache import TreeCache
 from repro.errors import InvalidParameterError
 from repro.parallel.sharding import ShardPlan, ShardPlanner
+from repro.params import check_tau, check_workers
 from repro.stream.reverse import NodeTwigIndex
 from repro.tree.node import Tree
 
@@ -150,15 +151,10 @@ class StreamingJoin:
         config: Optional[PartSJConfig] = None,
         workers: Optional[int] = None,
     ):
-        if tau < 0:
-            raise InvalidParameterError(f"tau must be >= 0, got {tau}")
+        check_tau(tau)
         cfg = (config or PartSJConfig()).resolved()
         if workers is not None:
-            if not isinstance(workers, int) or workers < 1:
-                raise InvalidParameterError(
-                    f"workers must be an integer >= 1, got {workers!r}"
-                )
-            cfg = replace(cfg, workers=workers)
+            cfg = replace(cfg, workers=check_workers(workers))
         self.tau = tau
         self.config = cfg
         self.workers = cfg.workers

@@ -68,6 +68,43 @@ class TestJoin:
             pair_sets[method] = {tuple(p[:2]) for p in payload["pairs"]}
         assert len(set(map(frozenset, pair_sets.values()))) == 1
 
+    def test_multi_tau_shares_one_session(self, dataset_file, capsys):
+        # Repeatable --tau: one prepared collection, one payload per tau.
+        assert main([
+            "join", str(dataset_file), "--tau", "1", "--tau", "2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        taus = [q["stats"]["tau"] for q in payload["queries"]]
+        assert taus == [1, 2]
+        # tau=2 results are a superset of tau=1's.
+        pairs1 = {tuple(p[:2]) for p in payload["queries"][0]["pairs"]}
+        pairs2 = {tuple(p[:2]) for p in payload["queries"][1]["pairs"]}
+        assert pairs1 <= pairs2
+
+    def test_multi_tau_text_output(self, dataset_file, capsys):
+        assert main([
+            "join", str(dataset_file), "--tau", "1", "--tau", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PRT(tau=1" in out and "PRT(tau=2" in out
+
+    def test_explain_prints_plan(self, dataset_file, capsys):
+        assert main([
+            "join", str(dataset_file), "--tau", "1", "--explain",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# plan:" in out
+        plan_line = next(l for l in out.splitlines() if l.startswith("# plan:"))
+        plan = json.loads(plan_line[len("# plan:"):])
+        assert plan["kind"] == "join" and plan["tau"] == 1
+
+    def test_explain_in_json_payload(self, dataset_file, capsys):
+        assert main([
+            "join", str(dataset_file), "--tau", "1", "--json", "--explain",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"]["method"] == "partsj"
+
 
 class TestSearchAndTed:
     def test_search(self, dataset_file, capsys):
@@ -77,6 +114,30 @@ class TestSearchAndTed:
         ]) == 0
         out = capsys.readouterr().out
         assert "0\t0" in out  # tree 0 at distance 0
+
+    def test_multi_query_search_shares_one_session(self, dataset_file, capsys):
+        trees = load_trees(dataset_file)
+        assert main([
+            "search", str(dataset_file),
+            "--query", trees[0].to_bracket(),
+            "--query", trees[1].to_bracket(),
+            "--tau", "0",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "0\t0" in captured.out  # query 0 found tree 0
+        assert "1\t0" in captured.out  # query 1 found tree 1
+        assert "# query 0:" in captured.err
+        assert "# query 1:" in captured.err
+
+    def test_search_explain(self, dataset_file, capsys):
+        trees = load_trees(dataset_file)
+        assert main([
+            "search", str(dataset_file), "--query", trees[0].to_bracket(),
+            "--tau", "1", "--explain",
+        ]) == 0
+        out = capsys.readouterr().out
+        plan_line = next(l for l in out.splitlines() if l.startswith("# plan:"))
+        assert json.loads(plan_line[len("# plan:"):])["kind"] == "search"
 
     def test_ted(self, capsys):
         assert main(["ted", "{a{b}{c}}", "{a{b}}"]) == 0

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.core.join import PartSJConfig
+from repro.errors import InvalidParameterError
 from repro.rsjoin import similarity_join_rs
 from repro.ted.zhang_shasha import zhang_shasha
 from repro.tree.node import Tree
@@ -69,3 +71,70 @@ class TestRSJoin:
         result = similarity_join_rs(left, right, 2)
         keys = [(p.i, p.j) for p in result.pairs]
         assert keys == sorted(keys)
+
+
+class TestRSWorkers:
+    """``workers`` is a first-class argument (it used to ride in
+    ``**options``) and composes with ``config=`` like similarity_join's."""
+
+    def test_workers_first_class_identical_results(self, rng):
+        left = make_cluster_forest(rng, 2, 3, 8, 2)
+        right = make_cluster_forest(rng, 2, 3, 8, 2)
+        serial = similarity_join_rs(left, right, 2)
+        parallel = similarity_join_rs(left, right, 2, workers=2)
+        assert [(p.i, p.j, p.distance) for p in parallel.pairs] == [
+            (p.i, p.j, p.distance) for p in serial.pairs
+        ]
+
+    def test_workers_composes_with_config(self, rng):
+        left = make_cluster_forest(rng, 2, 3, 8, 2)
+        right = [left[0].copy()] + make_cluster_forest(rng, 1, 2, 8, 1)
+        config = PartSJConfig(semantics="paper")
+        serial = similarity_join_rs(left, right, 1, config=config)
+        parallel = similarity_join_rs(
+            left, right, 1, config=config, workers=2
+        )
+        assert [(p.i, p.j, p.distance) for p in parallel.pairs] == [
+            (p.i, p.j, p.distance) for p in serial.pairs
+        ]
+
+    def test_workers_validated(self, rng):
+        left = [make_random_tree(rng, 5)]
+        with pytest.raises(InvalidParameterError, match="workers"):
+            similarity_join_rs(left, left, 1, workers=0)
+        with pytest.raises(InvalidParameterError, match="workers"):
+            similarity_join_rs(left, left, 1, workers="four")
+
+
+class TestRSErrorPaths:
+    def test_empty_sides_all_shapes(self, rng):
+        tree = [make_random_tree(rng, 5)]
+        assert similarity_join_rs([], tree, 1).pairs == []
+        assert similarity_join_rs(tree, [], 1).pairs == []
+        assert similarity_join_rs([], [], 1).pairs == []
+        # tau=0 on an empty side is still a valid (empty) query.
+        assert similarity_join_rs([], tree, 0).pairs == []
+
+    def test_tau_zero_exact_duplicates_only(self, rng):
+        base = make_random_tree(rng, 7)
+        left = [base, make_random_tree(rng, 7)]
+        right = [base.copy()]
+        result = similarity_join_rs(left, right, 0)
+        assert {(p.i, p.j, p.distance) for p in result.pairs} == {(0, 0, 0)}
+
+    def test_negative_tau_rejected(self, rng):
+        tree = [make_random_tree(rng, 5)]
+        with pytest.raises(InvalidParameterError, match="tau"):
+            similarity_join_rs(tree, tree, -1)
+
+    def test_unknown_method_rejected(self, rng):
+        tree = [make_random_tree(rng, 5)]
+        with pytest.raises(InvalidParameterError, match="unknown join method"):
+            similarity_join_rs(tree, tree, 1, method="magic")
+
+    def test_config_kwargs_conflict_rejected(self, rng):
+        tree = [make_random_tree(rng, 5)]
+        with pytest.raises(InvalidParameterError, match="not both"):
+            similarity_join_rs(
+                tree, tree, 1, config=PartSJConfig(), semantics="paper"
+            )
