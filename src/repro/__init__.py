@@ -56,11 +56,15 @@ from repro.datasets import (
 )
 from repro.errors import (
     EditOperationError,
+    IngestError,
     InvalidParameterError,
     NotPartitionableError,
     ReproError,
+    TaskTimeoutError,
     TreeFormatError,
+    WorkerFailureError,
 )
+from repro.resilience import FaultInjector, RetryPolicy
 from repro.rsjoin import similarity_join_rs
 from repro.search import SearchHit, SimilaritySearcher, similarity_search
 from repro.session import (
@@ -127,10 +131,16 @@ __all__ = [
     "sentiment_like",
     "save_trees",
     "load_trees",
+    # resilience (fault-tolerant execution; see repro.resilience)
+    "RetryPolicy",
+    "FaultInjector",
     # errors
     "ReproError",
     "TreeFormatError",
     "InvalidParameterError",
     "EditOperationError",
     "NotPartitionableError",
+    "WorkerFailureError",
+    "TaskTimeoutError",
+    "IngestError",
 ]

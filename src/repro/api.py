@@ -35,6 +35,41 @@ through a once-per-process :class:`DeprecationWarning`.  All parameter
 validation (``tau``, ``workers``, ``micro_batch``) is centralized in
 :mod:`repro.params`, so shims and sessions accept and reject exactly the
 same inputs.
+
+Failure semantics
+-----------------
+Every multi-process execution path (``workers > 1`` joins, R×S joins,
+search preparation, streaming verification) runs under **supervised
+dispatch** (:mod:`repro.resilience`).  The contract, in order of
+escalation:
+
+1. **Detect** — each dispatched task carries a per-task deadline
+   (``RetryPolicy.task_timeout``) and the supervisor health-checks worker
+   pids; a crashed, hung, raising, or corrupt-result worker (result
+   envelopes are CRC-checked) fails only its own task.
+2. **Retry** — failed tasks are re-dispatched on a respawned pool up to
+   ``RetryPolicy.max_attempts`` times, with deterministic exponential
+   backoff (seeded jitter, so runs are reproducible).
+3. **Degrade** — tasks that exhaust the policy are re-executed serially
+   in-process (``RetryPolicy.degradation``, on by default).  Degraded
+   execution uses the same pure per-shard/per-chunk computation, so
+   results stay **bit-identical to the serial engine** no matter how
+   many workers die.  With ``degradation=False`` the error escapes as
+   :class:`~repro.errors.WorkerFailureError` or
+   :class:`~repro.errors.TaskTimeoutError`.
+
+All swallowed failures are accounted for in ``JoinStats.extra``
+(``retries``, ``worker_failures``, ``timeouts``,
+``degraded_serial_tasks``, ``pool_respawns``) and surfaced by
+``QueryPlan.explain()`` under ``"resilience"``.  Knobs live on
+:class:`~repro.core.join.PartSJConfig` (``retry=RetryPolicy(...)``,
+``fault_injector=FaultInjector(...)`` — deterministic fault injection
+for tests, also settable via the ``REPRO_FAULT_SPEC`` environment
+variable).  Streaming ingest adds its own channel: malformed input is
+rejected (``on_error="fail"``) or quarantined with counts in
+``StreamStats.quarantined_trees`` (``on_error="skip"``), and poison
+candidate pairs are quarantined individually during degraded stream
+verification.
 """
 
 from __future__ import annotations

@@ -497,6 +497,12 @@ class DeferredVerification:
         stats.extra["verify_wall_time"] = round(
             verify_stats["verify_wall_time"], 6
         )
+        # Supervised-dispatch failure accounting (present only when the
+        # verify stage actually saw worker failures; see repro.resilience).
+        for key in ("retries", "worker_failures", "timeouts",
+                    "degraded_serial_tasks"):
+            if key in verify_stats:
+                stats.extra[key] = verify_stats[key]
         return verified
 
 

@@ -44,7 +44,12 @@ from repro.core.join import PartSJConfig
 from repro.datasets.io import save_trees
 from repro.datasets.realistic import DATASET_GENERATORS
 from repro.datasets.synthetic import SyntheticParams, generate_forest
-from repro.errors import InvalidParameterError, ReproError, TreeFormatError
+from repro.errors import (
+    IngestError,
+    InvalidParameterError,
+    ReproError,
+    TreeFormatError,
+)
 from repro.session import TreeCollection
 from repro.ted.api import TED_ALGORITHMS, ted
 from repro.tree.bracket import parse_bracket
@@ -110,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="streaming: stdin line format")
     join.add_argument("--micro-batch", type=int, default=1,
                       help="streaming: trees ingested between flush points")
+    join.add_argument("--on-error", default="fail", choices=["fail", "skip"],
+                      help="streaming: malformed stdin lines abort the join "
+                           "with the offending line number (fail, default) "
+                           "or are quarantined — skipped, counted in the "
+                           "final stats, reported as events (skip)")
     join.add_argument("--method", default="partsj",
                       choices=["partsj", "str", "set", "histogram", "nested_loop"])
     join.add_argument("--semantics", default="safe", choices=["safe", "paper"],
@@ -182,29 +192,52 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _iter_stream_trees(lines, fmt: str):
-    """Parse the streaming stdin format (see the module docstring)."""
+def _parse_stream_line(line: str, lineno: int, fmt: str):
+    """One stdin line to a Tree; malformed input raises IngestError
+    carrying the 1-based line number."""
+    if fmt == "ndjson":
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise IngestError(
+                f"stdin line {lineno}: invalid JSON ({exc})"
+            ) from None
+        if (
+            not isinstance(payload, dict)
+            or not isinstance(payload.get("tree"), str)
+        ):
+            raise IngestError(
+                f"stdin line {lineno}: expected an object with a "
+                '"tree" key holding a bracket string'
+            )
+        line = payload["tree"]
+    try:
+        return parse_bracket(line)
+    except (TreeFormatError, ReproError) as exc:
+        raise IngestError(f"stdin line {lineno}: {exc}") from exc
+
+
+def _iter_stream_trees(lines, fmt: str, on_error: str = "fail",
+                       on_quarantine=None):
+    """Parse the streaming stdin format (see the module docstring).
+
+    ``on_error="fail"`` lets the :class:`~repro.errors.IngestError` (with
+    the offending line number) escape; ``"skip"`` quarantines the line —
+    ``on_quarantine(lineno, error)`` is invoked and ingestion continues.
+    """
     for lineno, line in enumerate(lines, 1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        if fmt == "ndjson":
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise TreeFormatError(
-                    f"stdin line {lineno}: invalid JSON ({exc})"
-                ) from None
-            if (
-                not isinstance(payload, dict)
-                or not isinstance(payload.get("tree"), str)
-            ):
-                raise TreeFormatError(
-                    f"stdin line {lineno}: expected an object with a "
-                    '"tree" key holding a bracket string'
-                )
-            line = payload["tree"]
-        yield parse_bracket(line)
+        try:
+            tree = _parse_stream_line(line, lineno, fmt)
+        except IngestError as exc:
+            if on_error != "skip":
+                raise
+            if on_quarantine is not None:
+                on_quarantine(lineno, exc)
+            continue
+        yield tree
 
 
 def _require_stream_input(args: argparse.Namespace) -> None:
@@ -293,8 +326,22 @@ def _cmd_join_stream(args: argparse.Namespace, tau: int) -> int:
                 print(f"{pair.i}\t{pair.j}\t{pair.distance}", flush=True)
 
     with StreamingJoin(tau, config=config, workers=args.workers) as join:
+        def quarantine(lineno: int, error: IngestError) -> None:
+            join.record_quarantine(error, source=f"stdin line {lineno}")
+            if args.json:
+                print(json.dumps(
+                    {"quarantine": {"line": lineno, "error": str(error)}},
+                    sort_keys=True,
+                ), flush=True)
+            else:
+                print(f"# quarantined stdin line {lineno}: {error}",
+                      file=sys.stderr, flush=True)
+
         batch = []
-        for tree in _iter_stream_trees(sys.stdin, args.format):
+        for tree in _iter_stream_trees(
+            sys.stdin, args.format, on_error=args.on_error,
+            on_quarantine=quarantine,
+        ):
             batch.append(tree)
             if len(batch) >= args.micro_batch:
                 emit(join.add_many(batch))
@@ -306,12 +353,16 @@ def _cmd_join_stream(args: argparse.Namespace, tau: int) -> int:
     if args.json:
         print(json.dumps({"stats": stats.as_dict()}, sort_keys=True))
     else:
+        quarantined = (
+            f", quarantined {stats.quarantined_trees}"
+            if stats.quarantined_trees else ""
+        )
         print(
             f"# streamed {stats.trees} trees, {emitted} pairs, "
             f"{stats.candidates} candidates, "
             f"{stats.ingest_rate:.1f} trees/s ingest, "
             f"index {stats.index_entries} entries, "
-            f"pending {stats.pending_verification}",
+            f"pending {stats.pending_verification}{quarantined}",
             file=sys.stderr,
         )
     return 0

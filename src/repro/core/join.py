@@ -94,6 +94,8 @@ from repro.core.subgraph import MatchSemantics
 from repro.core.treecache import TreeCache
 from repro.errors import InvalidParameterError
 from repro.params import check_workers
+from repro.resilience.faults import FaultInjector
+from repro.resilience.policy import RetryPolicy
 from repro.tree.node import Tree
 
 __all__ = ["PartSJConfig", "PreparedJoinState", "ShardDriver", "partsj_join"]
@@ -130,6 +132,16 @@ class PartSJConfig:
         engine in-process; ``> 1`` dispatches to the sharded executor of
         :mod:`repro.parallel.executor` (identical pair set and distances,
         see the module docstring's handoff-band invariant).
+    retry:
+        A :class:`repro.resilience.RetryPolicy` governing supervised
+        parallel execution (attempts, per-task timeout, backoff, and the
+        graceful-degradation switch).  ``None`` (default) uses the policy
+        defaults; irrelevant with ``workers == 1``.
+    fault_injector:
+        A :class:`repro.resilience.FaultInjector` for chaos testing
+        (``None`` falls back to the ``REPRO_FAULT_SPEC`` environment
+        hook).  Injected faults never change results while degradation
+        is enabled — only the failure counters in ``JoinStats.extra``.
     """
 
     semantics: MatchSemantics | str = MatchSemantics.SAFE
@@ -138,6 +150,8 @@ class PartSJConfig:
     seed: int = 0
     postorder_numbering: str = "general"
     workers: int = 1
+    retry: Optional["RetryPolicy"] = None
+    fault_injector: Optional["FaultInjector"] = None
 
     def resolved(self) -> "PartSJConfig":
         """Normalize string fields to enums and validate."""
@@ -152,6 +166,8 @@ class PartSJConfig:
                 "use 'general' or 'binary'"
             )
         check_workers(self.workers)
+        if self.retry is not None:
+            self.retry.validated()
         return PartSJConfig(
             semantics=MatchSemantics.coerce(self.semantics),
             postorder_filter=PostorderFilter.coerce(self.postorder_filter),
@@ -159,6 +175,8 @@ class PartSJConfig:
             seed=self.seed,
             postorder_numbering=self.postorder_numbering,
             workers=self.workers,
+            retry=self.retry,
+            fault_injector=self.fault_injector,
         )
 
     @classmethod

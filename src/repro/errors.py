@@ -36,3 +36,38 @@ class EditOperationError(ReproError, ValueError):
 
 class NotPartitionableError(ReproError):
     """A tree cannot be split into the requested number of subgraphs."""
+
+
+class WorkerFailureError(ReproError):
+    """A worker process died, raised, or returned a corrupt result.
+
+    During supervised parallel execution each such event is normally
+    *swallowed into stats* (``JoinStats.extra["worker_failures"]``): the
+    task is retried under the active :class:`repro.resilience.RetryPolicy`
+    and, once the policy is exhausted, re-executed serially in-process
+    (``degraded_serial_tasks``).  This error only **escapes** to the
+    caller when the policy is exhausted *and* graceful degradation is
+    disabled (``RetryPolicy(degradation=False)``).
+    """
+
+
+class TaskTimeoutError(ReproError):
+    """A supervised parallel task exceeded its per-task timeout.
+
+    Like :class:`WorkerFailureError`, a timeout is normally swallowed:
+    the wedged pool is respawned, the task retried, and finally degraded
+    to serial in-process execution — all accounted in ``JoinStats.extra``.
+    It escapes only when the retry policy is exhausted and degradation is
+    disabled (``RetryPolicy(degradation=False)``).
+    """
+
+
+class IngestError(ReproError):
+    """A streaming ingest item (tree line / payload) is malformed.
+
+    With ``on_error="fail"`` (the default of the streaming ingest paths)
+    this escapes to the caller, carrying the offending line number where
+    one exists.  With ``on_error="skip"`` it is swallowed into the
+    quarantine channel instead: the item is dropped, counted in
+    ``StreamStats.quarantined_trees``, and ingestion continues.
+    """

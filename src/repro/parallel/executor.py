@@ -23,6 +23,16 @@ timing fields are summed worker CPU seconds (``wall_time`` of the
 harness captures the actual speedup), and the per-shard breakdown is
 surfaced in ``JoinStats.extra["shards"]``.
 
+Both stages run under **supervised dispatch**
+(:class:`repro.resilience.PoolSupervisor`): a crashed, hung, raising, or
+corrupt-result worker fails only its task, which is retried on a
+respawned pool under the config's :class:`~repro.resilience.RetryPolicy`
+and finally re-executed serially in-process (graceful degradation) — the
+bit-identical guarantee holds even with workers killed mid-flight.  The
+failure accounting lands in ``JoinStats.extra`` (``retries``,
+``worker_failures``, ``timeouts``, ``degraded_serial_tasks``,
+``fault_events``).
+
 The executor falls back to the serial engine when there is nothing to
 parallelize (``workers == 1``, fewer than two trees, or a plan with a
 single shard) — pool startup is pure overhead there.
@@ -45,10 +55,30 @@ from repro.baselines.common import (
 from repro.core.join import PartSJConfig, partsj_join
 from repro.parallel.sharding import ShardResult, plan_shards
 from repro.parallel.verify_pool import parallel_verify
-from repro.parallel.worker import init_worker, run_shard
+from repro.parallel.worker import execute_shard, init_worker, run_shard_task
+from repro.resilience import (
+    FaultInjector,
+    PoolSupervisor,
+    RetryPolicy,
+    shutdown_pool,
+)
 from repro.tree.node import Tree
 
-__all__ = ["open_pool", "parallel_partsj_join"]
+__all__ = ["open_pool", "parallel_partsj_join", "pool_context"]
+
+# Explicit start method rather than the platform default: "fork" where
+# the platform offers it (cheap startup; our initargs — bracket strings
+# and frozen config dataclasses — are equally spawn-safe, so the choice
+# is a performance one, not a correctness one), "spawn" otherwise
+# (macOS defaults and Windows have no safe fork).
+_START_METHOD = (
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+)
+
+
+def pool_context():
+    """The multiprocessing context every repro pool is created from."""
+    return multiprocessing.get_context(_START_METHOD)
 
 # Counter keys of _ProbeCounters.as_dict() summed across shards.
 _COUNTER_KEYS = (
@@ -66,6 +96,21 @@ _COUNTER_KEYS = (
 )
 
 
+def _create_pool(
+    brackets: Sequence[str],
+    tau: int,
+    workers: int,
+    config: Optional[PartSJConfig],
+    verifier_options: Optional[dict],
+    injector: Optional[FaultInjector],
+):
+    return pool_context().Pool(
+        processes=workers,
+        initializer=init_worker,
+        initargs=(brackets, tau, config, verifier_options, injector),
+    )
+
+
 @contextmanager
 def open_pool(
     trees: Sequence[Tree],
@@ -73,27 +118,25 @@ def open_pool(
     workers: int,
     config: Optional[PartSJConfig] = None,
     verifier_options: Optional[dict] = None,
+    injector: Optional[FaultInjector] = None,
 ):
     """A worker pool whose processes hold the collection (see worker.py).
 
     The collection crosses the process boundary once, as bracket strings,
     via the pool initializer; subsequent task payloads are index lists
-    only.  Closes (or on error terminates) and joins the pool on exit.
+    only.  Closes and joins the pool on exit; on error it is terminated
+    and the join is **bounded** (:func:`repro.resilience.shutdown_pool`),
+    so a wedged worker cannot hang cleanup forever.
     """
     brackets = [tree.to_bracket() for tree in trees]
-    context = multiprocessing.get_context()
-    pool = context.Pool(
-        processes=workers,
-        initializer=init_worker,
-        initargs=(brackets, tau, config, verifier_options),
-    )
+    pool = _create_pool(brackets, tau, workers, config, verifier_options, injector)
     try:
         yield pool
-        pool.close()
     except BaseException:
-        pool.terminate()
+        shutdown_pool(pool)
         raise
-    finally:
+    else:
+        pool.close()
         pool.join()
 
 
@@ -144,14 +187,30 @@ def parallel_partsj_join(
     if len(plans) <= 1:
         return partsj_join(trees, tau, serial_cfg, prepared=prepared)
 
+    policy = (cfg.retry or RetryPolicy()).validated()
+    injector = (
+        cfg.fault_injector if cfg.fault_injector is not None
+        else FaultInjector.from_env()
+    )
+    brackets = [tree.to_bracket() for tree in trees]
     stats = JoinStats(method="PRT", tau=tau, tree_count=len(trees))
-    with open_pool(trees, tau, workers, config=serial_cfg) as pool:
+    supervisor = PoolSupervisor(
+        lambda: _create_pool(brackets, tau, workers, serial_cfg, None, injector),
+        policy,
+    )
+    with supervisor:
         stage_start = time.perf_counter()
-        shard_results: list[ShardResult] = pool.map(run_shard, plans)
+        shard_results: list[ShardResult] = supervisor.run(
+            run_shard_task,
+            [(f"shard:{plan.shard_id}", plan) for plan in plans],
+            # Degradation fallback: the same pure shard computation, in
+            # this process over the real trees (no fault injection).
+            lambda plan: execute_shard(trees, tau, serial_cfg, plan),
+        )
         candidate_pairs = _merge_candidates(shard_results)
         candidate_wall = time.perf_counter() - stage_start
         pairs, verify_stats = parallel_verify(
-            trees, tau, candidate_pairs, workers, pool=pool
+            trees, tau, candidate_pairs, workers, supervisor=supervisor
         )
 
     counters = {key: 0 for key in _COUNTER_KEYS}
@@ -176,6 +235,9 @@ def parallel_partsj_join(
     for key in ("lb_filtered", "ub_accepted", "ted_early_exits"):
         stats.extra[key] = verify_stats[key]
     stats.extra["workers"] = workers
+    # Resilience accounting: every supervised failure, retry and serial
+    # degradation across both stages (see repro.resilience.supervisor).
+    stats.extra.update(supervisor.stats)
     stats.extra["shards"] = [r.timing_summary() for r in shard_results]
     stats.extra["band_time"] = round(sum(r.band_time for r in shard_results), 6)
     stats.extra["plan_time"] = round(plan_time, 6)

@@ -24,16 +24,22 @@ from typing import Optional
 from repro.baselines.common import Verifier
 from repro.core.join import PartSJConfig, ShardDriver
 from repro.parallel.sharding import ShardPlan, ShardResult
+from repro.resilience.faults import FaultInjector, corrupt_envelope, seal
 from repro.tree.bracket import parse_bracket
 from repro.tree.node import Tree
 
 __all__ = [
     "LazyTreeList",
+    "execute_shard",
     "init_worker",
     "init_stream_worker",
     "run_shard",
+    "run_shard_task",
     "verify_chunk",
+    "verify_chunk_task",
+    "verify_pairs",
     "verify_stream_chunk",
+    "verify_stream_chunk_task",
 ]
 
 
@@ -72,11 +78,13 @@ class _WorkerState:
         tau: int,
         config: Optional[PartSJConfig],
         verifier_options: Optional[dict],
+        injector: Optional[FaultInjector] = None,
     ):
         self.trees = LazyTreeList(brackets)
         self.tau = tau
         self.config = config
         self.verifier_options = verifier_options or {}
+        self.injector = injector
         self._verifier: Optional[Verifier] = None
 
     @property
@@ -94,10 +102,11 @@ def init_worker(
     tau: int,
     config: Optional[PartSJConfig] = None,
     verifier_options: Optional[dict] = None,
+    injector: Optional[FaultInjector] = None,
 ) -> None:
     """Pool initializer: install the collection in this worker process."""
     global _STATE
-    _STATE = _WorkerState(brackets, tau, config, verifier_options)
+    _STATE = _WorkerState(brackets, tau, config, verifier_options, injector)
 
 
 def _require_state() -> _WorkerState:
@@ -109,17 +118,24 @@ def _require_state() -> _WorkerState:
     return _STATE
 
 
-def run_shard(plan: ShardPlan) -> ShardResult:
-    """Candidate generation for one shard (runs inside a worker process).
+def execute_shard(
+    trees: Sequence,
+    tau: int,
+    config: Optional[PartSJConfig],
+    plan: ShardPlan,
+) -> ShardResult:
+    """Candidate generation for one shard, against any tree sequence.
 
     Band trees are insert-only and strictly precede the owned trees in
     the sorted order, so one linear pass over ``band`` then ``owned``
     reproduces the serial loop's state for every owned probe (the
-    handoff-band invariant of :mod:`repro.core.join`).
+    handoff-band invariant of :mod:`repro.core.join`).  The driver's
+    output is a pure function of ``(trees, tau, config, plan)``, so the
+    same shard re-executed anywhere — a retried worker, or the parent
+    process during graceful degradation — yields the identical result.
     """
-    state = _require_state()
     started = time.perf_counter()
-    driver = ShardDriver(state.trees, state.tau, state.config)
+    driver = ShardDriver(trees, tau, config)
     for i in plan.band:
         driver.insert_only(i)
     candidates: list[tuple[int, int]] = []
@@ -144,25 +160,47 @@ def run_shard(plan: ShardPlan) -> ShardResult:
     )
 
 
-def verify_chunk(
-    chunk: Sequence[tuple[int, int]],
-) -> tuple[list[tuple[int, int, int]], dict]:
-    """Verify one batch of candidate pairs (runs inside a worker process).
-
-    Returns the accepted ``(i, j, distance)`` triples (``i < j``) and the
-    chunk's verification-stat deltas; per-pair outcomes are independent of
-    batching, so any chunking of the same pair set merges to identical
-    totals.
-    """
+def run_shard(plan: ShardPlan) -> ShardResult:
+    """:func:`execute_shard` over this worker's installed collection."""
     state = _require_state()
-    verifier = state.verifier
+    return execute_shard(state.trees, state.tau, state.config, plan)
+
+
+def run_shard_task(task: tuple) -> tuple:
+    """Supervised shard task: ``(task_id, attempt, plan)`` → sealed result.
+
+    Entry point of :class:`repro.resilience.PoolSupervisor` dispatch —
+    applies any injected fault for this ``(task, attempt)``, runs the
+    shard, and seals the result with an integrity CRC so the supervisor
+    can detect corruption in transit.
+    """
+    task_id, attempt, plan = task
+    state = _require_state()
+    if state.injector is not None:
+        state.injector.fire(task_id, attempt)
+    envelope = seal(run_shard(plan))
+    if state.injector is not None and state.injector.corrupts(task_id, attempt):
+        envelope = corrupt_envelope(envelope)
+    return envelope
+
+
+def verify_pairs(
+    verifier: Verifier, pairs: Sequence[tuple[int, int]]
+) -> tuple[list[tuple[int, int, int]], dict]:
+    """Verify ``pairs`` on ``verifier``; return accepted triples + deltas.
+
+    The one shared verification loop of every execution path — batch
+    worker chunks, streamed chunks, and the parent-side degradation
+    fallbacks — so per-pair outcomes (and the stat deltas) are identical
+    wherever a chunk ends up running.
+    """
     calls_before = verifier.stats_ted_calls
     time_before = verifier.stats_time
     lb_before = verifier.stats_lb_filtered
     ub_before = verifier.stats_ub_accepted
     early_before = verifier.stats_ted_early_exits
     accepted: list[tuple[int, int, int]] = []
-    for i, j in chunk:
+    for i, j in pairs:
         distance = verifier.verify(i, j)
         if distance is not None:
             lo, hi = (i, j) if i < j else (j, i)
@@ -175,6 +213,32 @@ def verify_chunk(
         "ted_early_exits": verifier.stats_ted_early_exits - early_before,
     }
     return accepted, stats
+
+
+def verify_chunk(
+    chunk: Sequence[tuple[int, int]],
+) -> tuple[list[tuple[int, int, int]], dict]:
+    """Verify one batch of candidate pairs (runs inside a worker process).
+
+    Returns the accepted ``(i, j, distance)`` triples (``i < j``) and the
+    chunk's verification-stat deltas; per-pair outcomes are independent of
+    batching, so any chunking of the same pair set merges to identical
+    totals.
+    """
+    state = _require_state()
+    return verify_pairs(state.verifier, chunk)
+
+
+def verify_chunk_task(task: tuple) -> tuple:
+    """Supervised verify task: ``(task_id, attempt, chunk)`` → sealed result."""
+    task_id, attempt, chunk = task
+    state = _require_state()
+    if state.injector is not None:
+        state.injector.fire(task_id, attempt)
+    envelope = seal(verify_chunk(chunk))
+    if state.injector is not None and state.injector.corrupts(task_id, attempt):
+        envelope = corrupt_envelope(envelope)
+    return envelope
 
 
 # ---------------------------------------------------------------------------
@@ -224,18 +288,28 @@ class GrowingTreeStore(Sequence):
 class _StreamWorkerState:
     """Per-process state of a streaming verification worker."""
 
-    def __init__(self, tau: int, verifier_options: Optional[dict]):
+    def __init__(
+        self,
+        tau: int,
+        verifier_options: Optional[dict],
+        injector: Optional[FaultInjector] = None,
+    ):
         self.store = GrowingTreeStore()
         self.verifier = Verifier(self.store, tau, **(verifier_options or {}))
+        self.injector = injector
 
 
 _STREAM_STATE: Optional[_StreamWorkerState] = None
 
 
-def init_stream_worker(tau: int, verifier_options: Optional[dict] = None) -> None:
+def init_stream_worker(
+    tau: int,
+    verifier_options: Optional[dict] = None,
+    injector: Optional[FaultInjector] = None,
+) -> None:
     """Pool initializer for streaming verification workers."""
     global _STREAM_STATE
-    _STREAM_STATE = _StreamWorkerState(tau, verifier_options)
+    _STREAM_STATE = _StreamWorkerState(tau, verifier_options, injector)
 
 
 def verify_stream_chunk(
@@ -258,23 +332,26 @@ def verify_stream_chunk(
     brackets, pairs = task
     state = _STREAM_STATE
     state.store.update(brackets)
-    verifier = state.verifier
-    calls_before = verifier.stats_ted_calls
-    time_before = verifier.stats_time
-    lb_before = verifier.stats_lb_filtered
-    ub_before = verifier.stats_ub_accepted
-    early_before = verifier.stats_ted_early_exits
-    accepted: list[tuple[int, int, int]] = []
-    for i, j in pairs:
-        distance = verifier.verify(i, j)
-        if distance is not None:
-            lo, hi = (i, j) if i < j else (j, i)
-            accepted.append((lo, hi, distance))
-    stats = {
-        "ted_calls": verifier.stats_ted_calls - calls_before,
-        "verify_time": verifier.stats_time - time_before,
-        "lb_filtered": verifier.stats_lb_filtered - lb_before,
-        "ub_accepted": verifier.stats_ub_accepted - ub_before,
-        "ted_early_exits": verifier.stats_ted_early_exits - early_before,
-    }
-    return accepted, stats
+    return verify_pairs(state.verifier, pairs)
+
+
+def verify_stream_chunk_task(task: tuple) -> tuple:
+    """Supervised streamed-verify task → sealed result.
+
+    ``task`` is ``(task_id, brackets, pairs)``; streamed submissions are
+    never re-dispatched to a pool (a failed one degrades straight to the
+    parent-side fallback), so the attempt number is always 1.
+    """
+    task_id, brackets, pairs = task
+    if _STREAM_STATE is None:  # pragma: no cover - misuse guard
+        raise RuntimeError(
+            "stream worker state not initialized; the pool must be created "
+            "with initializer=init_stream_worker"
+        )
+    injector = _STREAM_STATE.injector
+    if injector is not None:
+        injector.fire(task_id, 1)
+    envelope = seal(verify_stream_chunk((brackets, pairs)))
+    if injector is not None and injector.corrupts(task_id, 1):
+        envelope = corrupt_envelope(envelope)
+    return envelope

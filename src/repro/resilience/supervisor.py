@@ -1,0 +1,285 @@
+"""Supervised task dispatch over a respawnable multiprocessing pool.
+
+:class:`PoolSupervisor` replaces bare ``pool.map`` in the parallel
+execution tiers.  For each batch of tasks it:
+
+1. dispatches every task asynchronously (``apply_async``) and collects
+   results as they complete, verifying each sealed envelope's CRC
+   (:func:`repro.resilience.faults.unseal`);
+2. watches for failures — a remote exception, a corrupt envelope, a
+   per-task timeout (:class:`~repro.resilience.policy.RetryPolicy`), or a
+   **dead worker** (the pool's worker pids are health-checked every poll;
+   a pid change means a process died mid-task and its result will never
+   arrive);
+3. on any failure, terminates and **respawns the pool** (a crashed worker
+   may have corrupted the shared queues; a hung one permanently occupies
+   a slot), then retries the failed tasks with deterministic backoff;
+4. after a task's attempts are exhausted, falls back to **graceful
+   degradation**: the task's ``fallback`` callable re-executes it
+   serially in the parent process — fault injection does not apply there,
+   so a join completes with bit-identical results no matter what was
+   injected.  With ``RetryPolicy(degradation=False)`` the failure
+   escapes as :class:`~repro.errors.WorkerFailureError` or
+   :class:`~repro.errors.TaskTimeoutError` instead.
+
+Every event is accounted in :attr:`PoolSupervisor.stats` — ``retries``,
+``worker_failures``, ``timeouts``, ``degraded_serial_tasks`` and a
+``fault_events`` trail — which the executors surface through
+``JoinStats.extra``.
+
+Determinism: task payloads are pure functions of their arguments, so
+whichever path a task completes through (first try, retry on a fresh
+pool, or serial degradation) its result is identical; the supervisor
+reassembles results in the original task order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.errors import TaskTimeoutError, WorkerFailureError
+from repro.resilience.faults import unseal
+from repro.resilience.policy import RetryPolicy
+
+__all__ = ["PoolSupervisor", "shutdown_pool"]
+
+# Seconds between completion polls while a batch is in flight.
+_POLL_INTERVAL = 0.02
+
+# Grace after a worker death before the still-unfinished tasks of the
+# batch are declared lost: completions that were already in the result
+# queue get collected, while the task that died mid-flight cannot finish
+# and should not be waited on for a full timeout.
+_DEATH_GRACE = 0.25
+
+# Bound on pool.join() during shutdown; past it the workers get SIGKILL.
+_JOIN_TIMEOUT = 5.0
+
+
+def shutdown_pool(pool, join_timeout: float = _JOIN_TIMEOUT) -> None:
+    """Terminate ``pool`` and join it with a bound.
+
+    ``Pool.join()`` has no timeout and a worker wedged in uninterruptible
+    code can ignore the SIGTERM that ``terminate()`` sends, hanging
+    cleanup forever.  The join therefore runs in a daemon thread; if it
+    misses the deadline the surviving workers are SIGKILLed and the join
+    retried (and, in the worst case, abandoned to the daemon thread).
+    """
+    pool.terminate()
+    joiner = threading.Thread(target=pool.join, daemon=True)
+    joiner.start()
+    joiner.join(join_timeout)
+    if joiner.is_alive():
+        for process in getattr(pool, "_pool", []) or []:
+            try:
+                process.kill()
+            except Exception:
+                pass
+        joiner.join(join_timeout)
+
+
+class PoolSupervisor:
+    """Retry/timeout/degradation supervision over a worker pool.
+
+    Parameters
+    ----------
+    pool_factory:
+        Zero-argument callable returning a **fresh, initialized** pool;
+        called once up front and again after every failure (respawn).
+    policy:
+        The :class:`RetryPolicy`; ``None`` uses the defaults.
+    """
+
+    def __init__(
+        self,
+        pool_factory: Callable[[], object],
+        policy: Optional[RetryPolicy] = None,
+    ):
+        self._factory = pool_factory
+        self.policy = (policy or RetryPolicy()).validated()
+        self._pool = None
+        self.stats = {
+            "retries": 0,
+            "worker_failures": 0,
+            "timeouts": 0,
+            "degraded_serial_tasks": 0,
+            "pool_respawns": 0,
+            "fault_events": [],
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def pool(self):
+        if self._pool is None:
+            self._pool = self._factory()
+        return self._pool
+
+    def _respawn(self) -> None:
+        if self._pool is not None:
+            shutdown_pool(self._pool)
+            self._pool = None
+            self.stats["pool_respawns"] += 1
+        # Recreated lazily by the next dispatch.
+
+    def close(self) -> None:
+        if self._pool is not None:
+            shutdown_pool(self._pool)
+            self._pool = None
+
+    def __enter__(self) -> "PoolSupervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- supervised dispatch -------------------------------------------------
+
+    def _worker_pids(self) -> frozenset:
+        processes = getattr(self._pool, "_pool", None)
+        if not processes:
+            return frozenset()
+        return frozenset(p.pid for p in processes)
+
+    def _record(self, task_id: str, attempt: int, reason: str, detail: str):
+        self.stats["fault_events"].append(
+            {
+                "task": task_id,
+                "attempt": attempt,
+                "reason": reason,
+                "detail": detail,
+            }
+        )
+        if reason == "timeout":
+            self.stats["timeouts"] += 1
+        else:
+            self.stats["worker_failures"] += 1
+
+    def _round(
+        self,
+        func: Callable,
+        batch: Sequence[tuple],  # (task_id, arg, attempt)
+        results: dict,
+    ) -> list[tuple]:
+        """Dispatch one attempt of every task in ``batch``; return failures.
+
+        A failure is ``(task_id, arg, attempt, reason)`` with ``reason``
+        in ``{"timeout", "crash", "corrupt", "error"}``.  Successful
+        payloads land in ``results`` keyed by task id.
+        """
+        pool = self.pool
+        timeout = self.policy.task_timeout
+        now = time.monotonic()
+        deadline = None if timeout is None else now + timeout
+        inflight = {}
+        for task_id, arg, attempt in batch:
+            handle = pool.apply_async(func, ((task_id, attempt, arg),))
+            inflight[task_id] = (handle, arg, attempt)
+        failures: list[tuple] = []
+        known_pids = self._worker_pids()
+        death_deadline = None
+        while inflight:
+            progressed = False
+            for task_id in list(inflight):
+                handle, arg, attempt = inflight[task_id]
+                if not handle.ready():
+                    continue
+                progressed = True
+                del inflight[task_id]
+                try:
+                    results[task_id] = unseal(handle.get(), task_id)
+                except WorkerFailureError as exc:
+                    self._record(task_id, attempt, "corrupt", str(exc))
+                    failures.append((task_id, arg, attempt, "corrupt"))
+                except Exception as exc:
+                    self._record(task_id, attempt, "error", repr(exc))
+                    failures.append((task_id, arg, attempt, "error"))
+            if not inflight:
+                break
+            now = time.monotonic()
+            pids = self._worker_pids()
+            if pids != known_pids:
+                # A worker died (the pool repopulates, changing the pid
+                # set).  Whichever task it was running is lost; give the
+                # rest a short grace to surface queued completions, then
+                # fail everything still pending.
+                known_pids = pids
+                if death_deadline is None:
+                    death_deadline = now + _DEATH_GRACE
+            expired = (
+                (deadline is not None and now >= deadline)
+                or (death_deadline is not None and now >= death_deadline)
+            )
+            if expired and not progressed:
+                reason = (
+                    "timeout"
+                    if deadline is not None and now >= deadline
+                    else "crash"
+                )
+                for task_id, (handle, arg, attempt) in inflight.items():
+                    self._record(
+                        task_id, attempt, reason,
+                        "task did not complete before the batch was failed",
+                    )
+                    failures.append((task_id, arg, attempt, reason))
+                inflight.clear()
+                break
+            if not progressed:
+                time.sleep(_POLL_INTERVAL)
+        return failures
+
+    def run(
+        self,
+        func: Callable,
+        tasks: Sequence[tuple],  # (task_id, arg)
+        fallback: Callable,
+    ) -> list:
+        """Execute ``func`` over ``tasks`` with supervision.
+
+        ``func`` runs in a worker process and receives one argument —
+        the tuple ``(task_id, attempt, arg)`` — returning a **sealed**
+        envelope (:func:`repro.resilience.faults.seal`).  ``fallback``
+        runs in *this* process and receives ``arg``, returning the bare
+        payload; it is the graceful-degradation path.
+
+        Returns the payloads in the order of ``tasks``.
+        """
+        policy = self.policy
+        results: dict = {}
+        queue = [(task_id, arg, 1) for task_id, arg in tasks]
+        exhausted: list[tuple] = []
+        while queue:
+            failures = self._round(func, queue, results)
+            if not failures:
+                break
+            # A failed round leaves the pool suspect (dead workers, wedged
+            # slots, possibly corrupted queues): replace it before any
+            # retry — or before the caller's next batch — touches it.
+            self._respawn()
+            queue = []
+            retry_delay = 0.0
+            for task_id, arg, attempt, reason in failures:
+                if attempt >= policy.max_attempts:
+                    exhausted.append((task_id, arg, reason))
+                else:
+                    self.stats["retries"] += 1
+                    queue.append((task_id, arg, attempt + 1))
+                    retry_delay = max(
+                        retry_delay, policy.delay(task_id, attempt)
+                    )
+            if queue and retry_delay > 0:
+                time.sleep(retry_delay)
+        for task_id, arg, reason in exhausted:
+            if not policy.degradation:
+                message = (
+                    f"task {task_id} failed after {policy.max_attempts} "
+                    f"attempt(s) ({reason}) and degradation is disabled"
+                )
+                if reason == "timeout":
+                    raise TaskTimeoutError(message)
+                raise WorkerFailureError(message)
+            results[task_id] = fallback(arg)
+            self.stats["degraded_serial_tasks"] += 1
+        return [results[task_id] for task_id, _ in tasks]

@@ -723,6 +723,7 @@ class JoinPlan(QueryPlan):
                 plan["index"] = col.prepare(self.tau, cfg).describe()
             if self.workers > 1:
                 from repro.parallel.sharding import plan_shards
+                from repro.resilience import FaultInjector, RetryPolicy
 
                 plan["shards"] = [
                     {
@@ -734,6 +735,17 @@ class JoinPlan(QueryPlan):
                     }
                     for shard in plan_shards(col.sorted, self.tau, self.workers)
                 ]
+                # The failure policy this execution would run under: the
+                # config's retry knobs (or the defaults) plus whether a
+                # fault injector is active (config or REPRO_FAULT_SPEC).
+                injector = (
+                    cfg.fault_injector if cfg.fault_injector is not None
+                    else FaultInjector.from_env()
+                )
+                plan["resilience"] = {
+                    **(cfg.retry or RetryPolicy()).validated().describe(),
+                    "fault_injection": injector is not None,
+                }
         else:
             plan["options"] = dict(self.options)
         return plan

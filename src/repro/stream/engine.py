@@ -88,6 +88,11 @@ class StreamStats:
     reverse_nodes: int = 0
     small_pool: int = 0
     workers: int = 1
+    # Failure-semantics counters: malformed ingest items skipped under
+    # on_error="skip" (the quarantine channel of the service and the CLI
+    # --stream path); poison *pairs* quarantined by the background verify
+    # pool appear under extra["quarantined_pairs"].
+    quarantined_trees: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -111,6 +116,7 @@ class StreamStats:
             "reverse_nodes": self.reverse_nodes,
             "small_pool": self.small_pool,
             "workers": self.workers,
+            "quarantined_trees": self.quarantined_trees,
             "extra": self.extra,
         }
 
@@ -173,6 +179,8 @@ class StreamingJoin:
         self._candidates = 0
         self._reverse_candidates = 0
         self._ingest_time = 0.0
+        self._quarantined_trees = 0
+        self._quarantine_log: list[dict] = []
         self._min_size = self._driver.min_size
         self._strict = cfg.semantics is MatchSemantics.PAPER
         self._closed = False
@@ -214,6 +222,21 @@ class StreamingJoin:
         for tree in trees:
             found.extend(self.add(tree))
         return found
+
+    def record_quarantine(self, error, source=None) -> None:
+        """Count one malformed ingest item skipped under ``on_error="skip"``.
+
+        The quarantine channel of the streaming ingest paths: the service
+        and the CLI call this for every item they drop, so the loss is
+        visible in :attr:`StreamStats.quarantined_trees` (a bounded tail
+        of the errors is kept in ``stats().extra["quarantine_log"]``).
+        """
+        self._quarantined_trees += 1
+        if len(self._quarantine_log) < 32:
+            entry = {"error": str(error)}
+            if source is not None:
+                entry["source"] = source
+            self._quarantine_log.append(entry)
 
     def _reverse_probe(
         self, i: int, n: int, subgraphs: list, candidates: list[int]
@@ -301,7 +324,12 @@ class StreamingJoin:
         if self._pool is None:
             from repro.parallel.verify_pool import StreamVerifyPool
 
-            self._pool = StreamVerifyPool(self.tau, self.workers)
+            self._pool = StreamVerifyPool(
+                self.tau,
+                self.workers,
+                policy=self.config.retry,
+                injector=self.config.fault_injector,
+            )
         return self._pool
 
     def flush(self) -> list[JoinPair]:
@@ -373,6 +401,8 @@ class StreamingJoin:
                 extra[key] = extra.get(key, 0) + pool_stats.pop(key, 0)
             extra.update(pool_stats)
         extra["ted_calls"] = ted_calls
+        if self._quarantine_log:
+            extra["quarantine_log"] = list(self._quarantine_log)
         return StreamStats(
             trees=len(self.trees),
             results=len(self._pairs),
@@ -386,6 +416,7 @@ class StreamingJoin:
             reverse_nodes=self._reverse.node_count,
             small_pool=len(driver.small_pool),
             workers=self.workers,
+            quarantined_trees=self._quarantined_trees,
             extra=extra,
         )
 

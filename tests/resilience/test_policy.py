@@ -1,0 +1,153 @@
+"""Unit tests for the resilience primitives: RetryPolicy, FaultInjector,
+and the CRC'd result envelopes (no worker pools started here)."""
+
+import pickle
+
+import pytest
+
+from repro.core.join import PartSJConfig
+from repro.errors import InvalidParameterError, WorkerFailureError
+from repro.resilience import (
+    FAULT_SPEC_ENV,
+    FaultInjector,
+    FaultRule,
+    InjectedFaultError,
+    RetryPolicy,
+    seal,
+    unseal,
+)
+from repro.resilience.faults import corrupt_envelope
+
+
+class TestRetryPolicy:
+    def test_defaults_validate(self):
+        policy = RetryPolicy().validated()
+        assert policy.max_attempts == 3
+        assert policy.task_timeout is None
+        assert policy.degradation is True
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"max_attempts": -1},
+        {"max_attempts": 1.5},
+        {"task_timeout": 0},
+        {"task_timeout": -2.0},
+        {"backoff_base": -0.1},
+        {"backoff_factor": 0.5},
+        {"jitter": -0.01},
+    ])
+    def test_validated_rejects_bad_fields(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(**kwargs).validated()
+
+    def test_delay_is_deterministic_and_exponential(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, jitter=0.5)
+        d1 = policy.delay("shard:0", 1)
+        d2 = policy.delay("shard:0", 2)
+        # Same (task, attempt) always sleeps the same delay.
+        assert d1 == policy.delay("shard:0", 1)
+        # Jitter stays within [base, base * (1 + jitter)].
+        assert 0.1 <= d1 <= 0.1 * 1.5
+        assert 0.2 <= d2 <= 0.2 * 1.5
+        # Different tasks draw different jitter from the same seed.
+        assert policy.delay("shard:1", 1) != d1
+
+    def test_delay_seed_changes_jitter(self):
+        a = RetryPolicy(jitter=1.0, seed=0).delay("shard:0", 1)
+        b = RetryPolicy(jitter=1.0, seed=1).delay("shard:0", 1)
+        assert a != b
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(backoff_base=0.05, backoff_factor=3.0, jitter=0.0)
+        assert policy.delay("x", 1) == pytest.approx(0.05)
+        assert policy.delay("x", 3) == pytest.approx(0.45)
+
+    def test_hashable_and_picklable(self):
+        # Rides on PartSJConfig (session cache keys) and pool initargs.
+        policy = RetryPolicy(max_attempts=2, task_timeout=1.0)
+        assert hash(policy) == hash(RetryPolicy(max_attempts=2, task_timeout=1.0))
+        assert pickle.loads(pickle.dumps(policy)) == policy
+        cfg = PartSJConfig(retry=policy)
+        assert hash(cfg.resolved()) is not None
+
+    def test_describe_is_json_ready(self):
+        desc = RetryPolicy(task_timeout=2.5, degradation=False).describe()
+        assert desc["task_timeout"] == 2.5
+        assert desc["degradation"] is False
+        assert set(desc) == {
+            "max_attempts", "task_timeout", "backoff_base",
+            "backoff_factor", "jitter", "degradation",
+        }
+
+
+class TestFaultInjectorSpec:
+    def test_from_spec_full_grammar(self):
+        injector = FaultInjector.from_spec(
+            "shard:0@1=crash, verify:*=hang:30 ,stream:2@2=corrupt,"
+            "pair:1:3=poison"
+        )
+        assert injector.rules == (
+            FaultRule("shard:0", "crash", 1, 0.0),
+            FaultRule("verify:*", "hang", None, 30.0),
+            FaultRule("stream:2", "corrupt", 2, 0.0),
+            FaultRule("pair:1:3", "poison", None, 0.0),
+        )
+
+    @pytest.mark.parametrize("spec", [
+        "shard:0",                 # missing =kind
+        "shard:0=explode",         # unknown kind
+        "shard:0@0=crash",         # attempts are 1-based
+        "shard:0@x=crash",         # non-integer attempt
+        "shard:0=hang:soon",       # non-numeric arg
+    ])
+    def test_from_spec_rejects_malformed(self, spec):
+        with pytest.raises(InvalidParameterError):
+            FaultInjector.from_spec(spec)
+
+    def test_from_env(self):
+        assert FaultInjector.from_env({}) is None
+        assert FaultInjector.from_env({FAULT_SPEC_ENV: "  "}) is None
+        injector = FaultInjector.from_env({FAULT_SPEC_ENV: "shard:1=crash"})
+        assert injector.rules == (FaultRule("shard:1", "crash"),)
+
+    def test_rule_matching(self):
+        injector = FaultInjector.from_spec("shard:*@1=crash,verify:2=poison")
+        assert injector.rule_for("shard:7", 1).kind == "crash"
+        assert injector.rule_for("shard:7", 2) is None   # @1 only
+        assert injector.rule_for("verify:2", 5).kind == "poison"
+        assert injector.rule_for("stream:0", 1) is None
+
+    def test_fire_poison_raises(self):
+        injector = FaultInjector.from_spec("verify:0=poison")
+        with pytest.raises(InjectedFaultError):
+            injector.fire("verify:0", 1)
+        injector.fire("verify:1", 1)  # non-matching: no-op
+
+    def test_corrupts(self):
+        injector = FaultInjector.from_spec("shard:0@2=corrupt")
+        assert not injector.corrupts("shard:0", 1)
+        assert injector.corrupts("shard:0", 2)
+        # corrupt never side-effects in fire()
+        injector.fire("shard:0", 2)
+
+    def test_injector_is_hashable_and_picklable(self):
+        injector = FaultInjector.from_spec("shard:0=crash")
+        assert pickle.loads(pickle.dumps(injector)) == injector
+        assert hash(PartSJConfig(fault_injector=injector)) is not None
+
+
+class TestEnvelopes:
+    def test_seal_unseal_roundtrip(self):
+        payload = {"pairs": [(1, 2, 0)], "n": 3}
+        assert unseal(seal(payload), "t") == payload
+
+    def test_corrupt_envelope_detected(self):
+        envelope = corrupt_envelope(seal([1, 2, 3]))
+        with pytest.raises(WorkerFailureError, match="corrupt"):
+            unseal(envelope, "shard:4")
+
+    def test_garbage_envelope_detected(self):
+        with pytest.raises(WorkerFailureError):
+            unseal("not an envelope", "t")
+        with pytest.raises(WorkerFailureError):
+            unseal((1, 2, 3), "t")

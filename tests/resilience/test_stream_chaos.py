@@ -1,0 +1,123 @@
+"""Chaos tests: the streaming tier under injected faults.
+
+Flush-point equivalence is the invariant: whatever is injected into the
+background verify pool — crashes, hangs, corrupt envelopes — the set of
+verified pairs after ``flush()`` equals the serial streaming run bit for
+bit.  The one sanctioned divergence is *poison quarantine*: a candidate
+pair whose verification itself raises is counted and skipped instead of
+wedging the stream.
+"""
+
+import random
+
+import pytest
+
+from repro.core.join import PartSJConfig
+from repro.resilience import FaultInjector, RetryPolicy
+from repro.stream.engine import StreamingJoin
+from tests.conftest import make_cluster_forest
+
+# Streaming chaos needs a finite deadline: a crashed worker's result
+# never arrives, and only the deadline turns that into degradation.
+STREAM_POLICY = RetryPolicy(task_timeout=0.5, backoff_base=0.0, jitter=0.0)
+
+
+def make_workload(seed=21):
+    rng = random.Random(seed)
+    return make_cluster_forest(
+        rng, clusters=3, cluster_size=3, base_size=10, max_edits=2
+    )
+
+
+def stream_triples(trees, tau, config=None, workers=1):
+    with StreamingJoin(tau, config=config, workers=workers) as join:
+        collected = list(join.add_many(trees))
+        collected.extend(join.flush())
+        stats = join.stats()
+    return sorted((p.i, p.j, p.distance) for p in collected), stats
+
+
+@pytest.fixture(scope="module")
+def workload():
+    trees = make_workload()
+    serial, _ = stream_triples(trees, 2)
+    return trees, serial
+
+
+def chaos_config(spec):
+    return PartSJConfig(
+        retry=STREAM_POLICY, fault_injector=FaultInjector.from_spec(spec)
+    )
+
+
+class TestStreamVerifyChaos:
+    def test_crash_every_submission_degrades_losslessly(self, workload):
+        trees, serial = workload
+        found, stats = stream_triples(
+            trees, 2, chaos_config("stream:*=crash"), workers=2
+        )
+        assert found == serial
+        assert stats.extra["verify_failures"] >= 1
+        assert stats.extra["degraded_serial_tasks"] >= 1
+        assert stats.extra["quarantined_pairs"] == 0
+        assert stats.quarantined_trees == 0
+
+    def test_crash_detected_without_task_timeout(self, workload):
+        """No deadline configured at all: crash detection must come from
+        the worker-pid health check, not block drain() forever (the
+        REPRO_FAULT_SPEC env hook hits exactly this configuration)."""
+        trees, serial = workload
+        cfg = PartSJConfig(
+            fault_injector=FaultInjector.from_spec("stream:*=crash")
+        )
+        found, stats = stream_triples(trees, 2, cfg, workers=2)
+        assert found == serial
+        assert stats.extra["verify_failures"] >= 1
+        assert stats.extra["degraded_serial_tasks"] >= 1
+
+    def test_hang_detected_and_degraded(self, workload):
+        trees, serial = workload
+        found, stats = stream_triples(
+            trees, 2, chaos_config("stream:0=hang"), workers=2
+        )
+        assert found == serial
+        assert stats.extra["verify_failures"] >= 1
+
+    def test_corrupt_envelope_degraded(self, workload):
+        trees, serial = workload
+        found, stats = stream_triples(
+            trees, 2, chaos_config("stream:*=corrupt"), workers=2
+        )
+        assert found == serial
+        assert stats.extra["verify_failures"] >= 1
+
+    def test_poison_pairs_are_quarantined_individually(self, workload):
+        trees, serial = workload
+        # Crash every submission to force the in-process fallback, then
+        # poison every pair inside it: all candidates quarantine, none
+        # wedge the stream.
+        found, stats = stream_triples(
+            trees, 2, chaos_config("stream:*=crash,pair:*=poison"), workers=2
+        )
+        assert stats.extra["quarantined_pairs"] >= 1
+        # Quarantined candidates are dropped, never fabricated: whatever
+        # did survive is a subset of the serial result.
+        assert set(found) <= set(serial)
+        assert len(found) < len(serial)
+
+    def test_single_poison_pair_quarantines_only_itself(self, workload):
+        trees, serial = workload
+        i, j, _ = serial[0]
+        found, stats = stream_triples(
+            trees, 2, chaos_config(f"stream:*=crash,pair:{i}:{j}=poison"),
+            workers=2,
+        )
+        assert stats.extra["quarantined_pairs"] == 1
+        assert set(found) == set(serial) - {serial[0]}
+
+    def test_clean_parallel_stream_reports_zero_failures(self, workload):
+        trees, serial = workload
+        found, stats = stream_triples(trees, 2, workers=2)
+        assert found == serial
+        assert stats.extra["verify_failures"] == 0
+        assert stats.extra["quarantined_pairs"] == 0

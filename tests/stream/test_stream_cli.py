@@ -111,6 +111,65 @@ class TestJoinStream:
         assert "line 1" in capsys.readouterr().err
 
 
+MALFORMED_LINES = "\n".join([
+    "{a{b}{c{d}}}",
+    "{{oops",            # line 2: unbalanced bracket
+    "{a{b}{c{e}}}",
+    "}stray",            # line 4: malformed too
+    "{x{y{z{w{v}}}}{u}}",
+]) + "\n"
+
+
+class TestJoinStreamOnError:
+    def test_default_fail_aborts_with_line_number(self, monkeypatch, capsys):
+        feed(monkeypatch, MALFORMED_LINES)
+        assert main(["join", "--stream", "--tau", "1"]) == 2
+        captured = capsys.readouterr()
+        assert "stdin line 2" in captured.err
+        # Nothing after the bad line was processed.
+        assert "stdin line 4" not in captured.err
+
+    def test_skip_quarantines_and_finishes(self, monkeypatch, capsys):
+        feed(monkeypatch, MALFORMED_LINES)
+        assert main([
+            "join", "--stream", "--tau", "1", "--on-error", "skip",
+        ]) == 0
+        captured = capsys.readouterr()
+        # The join completed over the healthy lines.
+        assert captured.out.splitlines() == ["0\t1\t1"]
+        assert "# quarantined stdin line 2" in captured.err
+        assert "# quarantined stdin line 4" in captured.err
+        assert "streamed 3 trees" in captured.err
+        assert "quarantined 2" in captured.err
+
+    def test_skip_json_emits_quarantine_events(self, monkeypatch, capsys):
+        feed(monkeypatch, MALFORMED_LINES)
+        assert main([
+            "join", "--stream", "--tau", "1", "--on-error", "skip", "--json",
+        ]) == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.splitlines()]
+        quarantines = [e["quarantine"] for e in lines if "quarantine" in e]
+        assert [q["line"] for q in quarantines] == [2, 4]
+        assert all("error" in q for q in quarantines)
+        stats = lines[-1]["stats"]
+        assert stats["trees"] == 3
+        assert stats["quarantined_trees"] == 2
+        assert len(stats["extra"]["quarantine_log"]) == 2
+
+    def test_skip_ndjson_bad_json_line(self, monkeypatch, capsys):
+        feed(monkeypatch, '{"tree": "{a{b}}"}\nnot json\n{"tree": "{a{c}}"}\n')
+        assert main([
+            "join", "--stream", "--tau", "1", "--format", "ndjson",
+            "--on-error", "skip", "--json",
+        ]) == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.splitlines()]
+        assert [e["quarantine"]["line"] for e in lines
+                if "quarantine" in e] == [2]
+        assert lines[-1]["stats"]["trees"] == 2
+
+
 class TestStatsStream:
     def test_reports_ingest_rate_and_index(self, monkeypatch, capsys):
         feed(monkeypatch, BRACKET_LINES)

@@ -41,9 +41,12 @@ EXPECTED_EXPORTS = {
     "SyntheticParams", "TreeGenerator", "generate_forest",
     "swissprot_like", "treebank_like", "sentiment_like",
     "save_trees", "load_trees",
+    # resilience
+    "RetryPolicy", "FaultInjector",
     # errors
     "ReproError", "TreeFormatError", "InvalidParameterError",
     "EditOperationError", "NotPartitionableError",
+    "WorkerFailureError", "TaskTimeoutError", "IngestError",
     # metadata
     "__version__",
 }

@@ -4,16 +4,20 @@ import pytest
 
 from repro.errors import (
     EditOperationError,
+    IngestError,
     InvalidParameterError,
     NotPartitionableError,
     ReproError,
+    TaskTimeoutError,
     TreeFormatError,
+    WorkerFailureError,
 )
 
 
 def test_all_errors_derive_from_repro_error():
     for cls in (TreeFormatError, InvalidParameterError, EditOperationError,
-                NotPartitionableError):
+                NotPartitionableError, WorkerFailureError, TaskTimeoutError,
+                IngestError):
         assert issubclass(cls, ReproError)
 
 
