@@ -1,0 +1,294 @@
+"""Benchmark: crash-safe persistence (PR 7, repro.persist) priced honestly.
+
+PartSJ's preparation is deliberately cheap — partitioning is a linear
+pass with hint-chained gamma searches — so snapshotting it is not a
+big-speedup story and this benchmark does not pretend otherwise.  What
+it records and guards is that **durability is (nearly) free**:
+
+- **session snapshots**: ``save`` + checksummed container vs the cold
+  ``from_file`` + ``prepare`` path it short-circuits.  Loading a warm
+  sidecar restores every prepared tau *bit-identically* and must not
+  cost materially more than preparing cold (``MAX_WARM_FRACTION``);
+  saving must cost less than one cold preparation
+  (``MAX_SAVE_FRACTION``).  The snapshot's value is crash-safety — a
+  prepared session that survives process death at break-even wall cost.
+- **write-ahead logging**: streaming ingest with ``wal=`` (the
+  ``"batch"`` fsync policy, one log append per arrival) vs bare ingest.
+  The guard bounds the overhead at ``MAX_WAL_OVERHEAD``; measured, it
+  is a few percent.
+- **recovery**: ``StreamingJoin.recover`` replays the log through the
+  normal ingest path; the benchmark asserts the recovered pairs equal
+  the pre-crash engine's, and records the replay wall time (it re-pays
+  ingest, by design — recovery correctness, not speed, is the product).
+
+``python benchmarks/bench_session_persist.py --snapshot`` regenerates
+``BENCH_PR7.json``, the committed record the CI ``persist-smoke`` guard
+refers to.
+
+Run with ``pytest benchmarks/bench_session_persist.py``.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.datasets.io import save_trees
+from repro.persist.snapshot import sidecar_path
+from repro.session import TreeCollection
+from repro.stream import StreamingJoin
+
+SNAPSHOT_PATH = Path(__file__).parent.parent / "BENCH_PR7.json"
+SNAPSHOT_TAUS = (1, 2, 3)
+REPEATS = 2
+# CI guards (see the module docstring for why these are ceilings, not
+# speedup claims): measured warm fractions hover around 0.6-1.0x, save
+# around 0.05-0.4x, WAL overhead around 1.0-1.25x (noisy; best-of-N
+# below).  A real regression — say an accidental per-append fsync —
+# lands an order of magnitude past these.
+MAX_WARM_FRACTION = 1.5
+MAX_SAVE_FRACTION = 1.0
+MAX_WAL_OVERHEAD = 1.5
+
+
+def triples(pairs):
+    return [(p.i, p.j, p.distance) for p in pairs]
+
+
+def _best(fn, repeats):
+    best_wall, best_value = None, None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = fn()
+        wall = time.perf_counter() - started
+        if best_wall is None or wall < best_wall:
+            best_wall, best_value = wall, value
+    return best_wall, best_value
+
+
+def measure_snapshot(trees, workdir, taus=SNAPSHOT_TAUS, repeats=REPEATS):
+    """Cold prepare vs save/load, dataset + sidecar, equivalence asserted."""
+    workdir = Path(workdir)
+    dataset = workdir / "workload.trees"
+    save_trees(trees, dataset)
+
+    def cold_prepare():
+        col = TreeCollection.from_file(dataset, sidecar=None)
+        for tau in taus:
+            col.prepare(tau)
+        return col
+
+    cold_wall, col = _best(cold_prepare, repeats)
+    reference = {tau: triples(col.join(tau).run().pairs) for tau in taus}
+
+    save_wall, snapshot = _best(
+        lambda: col.save(sidecar_path(dataset), include_trees=False,
+                         source=dataset),
+        repeats,
+    )
+    warm_wall, warm = _best(lambda: TreeCollection.from_file(dataset), repeats)
+    assert warm.provenance is not None, "sidecar was not auto-discovered"
+    assert warm.prepared_taus() == sorted(taus)
+    for tau in taus:
+        assert triples(warm.join(tau).run().pairs) == reference[tau], (
+            f"tau={tau}: warm-loaded session diverges from the saved one"
+        )
+
+    metrics = {
+        "trees": len(trees),
+        "taus": list(taus),
+        "snapshot_bytes": Path(snapshot).stat().st_size,
+        "cold_prepare_wall": round(cold_wall, 4),
+        "save_wall": round(save_wall, 4),
+        "warm_load_wall": round(warm_wall, 4),
+        "warm_fraction_of_cold": round(warm_wall / max(cold_wall, 1e-9), 4),
+        "save_fraction_of_cold": round(save_wall / max(cold_wall, 1e-9), 4),
+        "warm_speedup": round(cold_wall / max(warm_wall, 1e-9), 3),
+    }
+    lines = [
+        f"snapshot: cold from_file+prepare{list(taus)} {cold_wall:.3f}s | "
+        f"save {save_wall:.3f}s | warm from_file {warm_wall:.3f}s "
+        f"({metrics['warm_fraction_of_cold']:.2f}x cold, "
+        f"{metrics['snapshot_bytes']} bytes)",
+    ]
+    return lines, metrics
+
+
+def measure_wal(trees, workdir, tau=1, repeats=REPEATS):
+    """Bare vs WAL-logged ingest, then crash-free recovery equivalence."""
+    workdir = Path(workdir)
+    wal_path = workdir / "ingest.wal"
+
+    def ingest(wal=None):
+        engine = StreamingJoin(tau, wal=wal)
+        started = time.perf_counter()
+        for tree in trees:
+            engine.add(tree)
+        engine.flush()
+        wall = time.perf_counter() - started
+        pairs = triples(engine.results())
+        engine.close()
+        return wall, pairs
+
+    # Ingest walls are noisy at smoke scale; compare best-of-N to
+    # best-of-N over the add+flush wall alone (a fresh engine truncates
+    # and rewrites the log, so every logged repeat pays the full append
+    # cost).
+    def best_ingest(wal=None):
+        walls_pairs = [ingest(wal) for _ in range(repeats)]
+        return min(w for w, _ in walls_pairs), walls_pairs[0][1]
+
+    bare_wall, bare_pairs = best_ingest()
+    wal_wall, wal_pairs = best_ingest(wal=str(wal_path))
+    assert wal_pairs == bare_pairs, "WAL-logged ingest diverges from bare"
+
+    started = time.perf_counter()
+    recovered = StreamingJoin.recover(wal_path)
+    recover_wall = time.perf_counter() - started
+    try:
+        assert triples(recovered.results()) == bare_pairs, (
+            "recovered state diverges from the logged stream"
+        )
+        replayed = recovered.stats().extra["wal"]["recovered"]["records"]
+    finally:
+        recovered.close()
+    assert replayed == len(trees)
+
+    metrics = {
+        "trees": len(trees),
+        "tau": tau,
+        "results": len(bare_pairs),
+        "bare_ingest_wall": round(bare_wall, 4),
+        "wal_ingest_wall": round(wal_wall, 4),
+        "wal_overhead": round(wal_wall / max(bare_wall, 1e-9), 4),
+        "recover_wall": round(recover_wall, 4),
+        "wal_bytes": wal_path.stat().st_size,
+    }
+    lines = [
+        f"wal tau={tau}: bare ingest {bare_wall:.3f}s | logged "
+        f"{wal_wall:.3f}s ({metrics['wal_overhead']:.3f}x) | recover "
+        f"{recover_wall:.3f}s for {replayed} arrivals "
+        f"({metrics['wal_bytes']} bytes)",
+    ]
+    return lines, metrics
+
+
+def measure(trees, workdir, taus=SNAPSHOT_TAUS, repeats=REPEATS,
+            wal_trees=None):
+    lines = [
+        "== session_persist: checksummed snapshots + streaming WAL ==",
+        f"trees={len(trees)} (standard stream workload)",
+    ]
+    snap_lines, snap_metrics = measure_snapshot(trees, workdir, taus, repeats)
+    wal_lines, wal_metrics = measure_wal(
+        wal_trees if wal_trees is not None else trees, workdir,
+        repeats=repeats,
+    )
+    lines += snap_lines + wal_lines
+    return lines, {"snapshot": snap_metrics, "wal": wal_metrics}
+
+
+def test_session_persist_timed(benchmark, stream_workload, tmp_path):
+    result = benchmark.pedantic(
+        lambda: measure(stream_workload, tmp_path, taus=(1,), repeats=1,
+                        wal_trees=stream_workload[:100]),
+        rounds=1, iterations=1,
+    )
+    assert result[1]["snapshot"]["cold_prepare_wall"] > 0
+
+
+def test_equivalence_and_report(stream_workload, scale, results_dir, tmp_path):
+    from conftest import save_and_print
+
+    lines, metrics = measure(stream_workload, tmp_path, taus=(1, 2),
+                             repeats=1, wal_trees=stream_workload[:150])
+    assert metrics["wal"]["results"] > 0
+    save_and_print(
+        results_dir, "session_persist", scale, "\n".join(lines) + "\n"
+    )
+
+
+def test_smoke_guard_persist(stream_workload, tmp_path):
+    """CI perf smoke: durability must stay (nearly) free.
+
+    Warm sidecar loads at most ``MAX_WARM_FRACTION`` of a cold prepare,
+    saving under ``MAX_SAVE_FRACTION`` of one, WAL-logged ingest within
+    ``MAX_WAL_OVERHEAD`` of bare — with bit-identical results asserted
+    inside the measurements.
+    """
+    _, metrics = measure(stream_workload, tmp_path, taus=SNAPSHOT_TAUS,
+                         repeats=REPEATS, wal_trees=stream_workload[:150])
+    snap, wal = metrics["snapshot"], metrics["wal"]
+    assert snap["warm_fraction_of_cold"] <= MAX_WARM_FRACTION, (
+        f"warm sidecar load out of bounds: {snap['warm_fraction_of_cold']}x "
+        f"of cold prepare (warm {snap['warm_load_wall']}s vs cold "
+        f"{snap['cold_prepare_wall']}s)"
+    )
+    assert snap["save_fraction_of_cold"] <= MAX_SAVE_FRACTION, (
+        f"snapshot save out of bounds: {snap['save_fraction_of_cold']}x of "
+        f"cold prepare"
+    )
+    assert wal["wal_overhead"] <= MAX_WAL_OVERHEAD, (
+        f"WAL ingest overhead out of bounds: {wal['wal_overhead']}x of bare"
+    )
+
+
+def write_snapshot() -> dict:
+    """Regenerate ``BENCH_PR7.json`` from a fresh measurement.
+
+    Uses the exact stream-workload definition of
+    ``benchmarks/conftest.py`` (smoke count), so the CI guard compares
+    like with like.
+    """
+    import tempfile
+
+    from conftest import (
+        STREAM_WORKLOAD_COUNTS,
+        STREAM_WORKLOAD_SEED,
+        STREAM_WORKLOAD_SHAPE,
+        make_stream_workload,
+    )
+
+    count = STREAM_WORKLOAD_COUNTS["smoke"]
+    trees = make_stream_workload(count)
+    with tempfile.TemporaryDirectory(prefix="bench-persist-") as workdir:
+        lines, metrics = measure(trees, workdir, wal_trees=trees[:150])
+    snapshot = {
+        "description": (
+            "Crash-safe persistence (PR 7, repro.persist) on the standard "
+            "stream workload (smoke scale). snapshot: cold_prepare_wall = "
+            "from_file + prepare taus {1,2,3} with no sidecar; "
+            "warm_load_wall = from_file auto-discovering the sidecar "
+            "(restores every prepared tau, bit-identical results "
+            "asserted). PartSJ preparation is cache-dominated and cheap "
+            "by design, so warm load is a break-even durability story, "
+            "not a big speedup; the CI guard bounds warm at 1.5x cold and "
+            "save at 1.0x cold. wal: ingest with a 'batch'-fsync "
+            "write-ahead log vs bare, best-of-N walls (guard 1.5x; "
+            "measured ~1.1x), plus recover() replay wall. Regenerate "
+            "with: python "
+            "benchmarks/bench_session_persist.py --snapshot"
+        ),
+        "workload": {
+            "count": count,
+            **STREAM_WORKLOAD_SHAPE,
+            "seed": STREAM_WORKLOAD_SEED,
+        },
+        "guards": {
+            "max_warm_fraction": MAX_WARM_FRACTION,
+            "max_save_fraction": MAX_SAVE_FRACTION,
+            "max_wal_overhead": MAX_WAL_OVERHEAD,
+        },
+        **metrics,
+    }
+    SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print("\n".join(lines))
+    print(f"wrote {SNAPSHOT_PATH}")
+    return snapshot
+
+
+if __name__ == "__main__":
+    if "--snapshot" in sys.argv:
+        write_snapshot()
+    else:
+        print(__doc__)

@@ -59,9 +59,14 @@ from repro.errors import (
     IngestError,
     InvalidParameterError,
     NotPartitionableError,
+    PersistenceError,
     ReproError,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    StaleSnapshotError,
     TaskTimeoutError,
     TreeFormatError,
+    WALCorruptError,
     WorkerFailureError,
 )
 from repro.resilience import FaultInjector, RetryPolicy
@@ -134,6 +139,12 @@ __all__ = [
     # resilience (fault-tolerant execution; see repro.resilience)
     "RetryPolicy",
     "FaultInjector",
+    # persistence errors (save/load/WAL; see repro.persist)
+    "PersistenceError",
+    "SnapshotFormatError",
+    "SnapshotIntegrityError",
+    "StaleSnapshotError",
+    "WALCorruptError",
     # errors
     "ReproError",
     "TreeFormatError",

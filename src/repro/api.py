@@ -70,6 +70,41 @@ rejected (``on_error="fail"``) or quarantined with counts in
 ``StreamStats.quarantined_trees`` (``on_error="skip"``), and poison
 candidate pairs are quarantined individually during degraded stream
 verification.
+
+Durability semantics
+--------------------
+Prepared sessions and streaming state survive process death
+(:mod:`repro.persist`):
+
+- ``TreeCollection.save(path)`` snapshots a session — trees (optional),
+  interner, size order, every prepared tau — into a versioned container
+  whose every section carries a CRC32, written atomically (temp file +
+  fsync + rename): a crash mid-save leaves the previous snapshot intact,
+  and a later reader sees either the old complete file or the new one,
+  never a blend.  ``TreeCollection.load(path)`` verifies every checksum
+  *and* recomputes the derived state it restores (interner ids, sorted
+  order, twig keys) against the stored values; any mismatch raises a
+  :class:`~repro.errors.PersistenceError` subclass.  A loaded session
+  answers joins, searches and streams **bit-identically** to the one
+  that was saved.
+- ``TreeCollection.from_file(path)`` auto-discovers a
+  ``<path>.repro-idx`` sidecar.  The implicit path is *never trusted
+  into wrongness*: a corrupt, truncated, version-mismatched or stale
+  (the dataset changed since the save — detected by content digest)
+  sidecar produces a warning and a cold rebuild, so the worst a broken
+  snapshot can cost is preparation time, never a wrong answer.
+- ``StreamingJoin(wal=path)`` appends every arrival to a per-record-CRC
+  write-ahead log *before* indexing it.  The fsync policy bounds the
+  loss window: ``"always"`` fsyncs per arrival (a crashed process loses
+  nothing acknowledged), ``"batch"`` (default) fsyncs at every
+  ``flush()``/``close()`` (a crash loses at most the arrivals since the
+  last flush), ``"never"`` leaves flushing to the OS.
+  ``StreamingJoin.recover(path)`` replays the log through the normal
+  ingest path to a state bit-identical to a batch join over the logged
+  prefix, tolerating a torn final record (the one kind of damage a
+  mid-append crash can cause) and refusing — with salvage statistics on
+  :class:`~repro.errors.WALCorruptError` — to replay past a mid-log
+  hole, which would silently drop arrivals.
 """
 
 from __future__ import annotations

@@ -14,6 +14,13 @@ Subcommands
 - ``search``     — similarity search in a dataset file; ``--query`` may
   repeat and all queries share one prepared session (repl-style usage:
   many queries, one preparation).
+
+``join`` and ``search`` persist their prepared session with
+``--save-index PATH`` and restore one with ``--load-index PATH`` (or
+automatically from ``<input>.repro-idx``); ``join --stream`` takes
+``--wal PATH`` to log arrivals crash-safely and ``--recover`` to replay
+such a log; ``stats --snapshot PATH`` prints a snapshot's provenance
+and checksum status.  See :mod:`repro.persist`.
 - ``ted``        — tree edit distance between two bracket-notation trees.
 - ``experiment`` — run one of the paper's figure reproductions.
 
@@ -92,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--format", default="brackets",
                        choices=["brackets", "ndjson"],
                        help="streaming: stdin line format")
+    stats.add_argument("--snapshot", metavar="PATH", default=None,
+                       help="inspect a session snapshot instead: print its "
+                            "format/library versions, sections and per-"
+                            "section CRC status (exit 2 if any checksum "
+                            "fails)")
 
     join = commands.add_parser(
         "join", help="similarity self-join",
@@ -138,6 +150,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes (1 = serial; results identical; "
                            "per-shard timings appear under extra.shards in "
                            "--json output)")
+    join.add_argument("--save-index", metavar="PATH", default=None,
+                      help="after the join(s), save the prepared session as "
+                           "a checksummed snapshot sidecar (trees stay in "
+                           "the dataset file; the sidecar records its "
+                           "digest, so a changed dataset is detected)")
+    join.add_argument("--load-index", metavar="PATH", default=None,
+                      help="load a previously saved snapshot explicitly "
+                           "(default: auto-discover <input>.repro-idx; a "
+                           "corrupt or stale snapshot warns and rebuilds "
+                           "cold — it never changes results)")
+    join.add_argument("--wal", metavar="PATH", default=None,
+                      help="streaming: write every arrival to an append-only "
+                           "write-ahead log before indexing it, so a crash "
+                           "mid-stream loses at most the unsynced tail")
+    join.add_argument("--recover", action="store_true",
+                      help="streaming: replay --wal first (tau and filter "
+                           "config come from the log header and must match "
+                           "--tau), emit the recovered pairs, then continue "
+                           "ingesting stdin with the log still attached")
 
     search = commands.add_parser(
         "search", help="similarity search",
@@ -153,6 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--explain", action="store_true",
                         help="print each query's structured plan before "
                              "running it")
+    search.add_argument("--save-index", metavar="PATH", default=None,
+                        help="after the queries, save the prepared session "
+                             "as a checksummed snapshot sidecar")
+    search.add_argument("--load-index", metavar="PATH", default=None,
+                        help="load a previously saved snapshot explicitly "
+                             "(default: auto-discover <input>.repro-idx; "
+                             "corrupt or stale snapshots warn and rebuild "
+                             "cold)")
 
     ted_cmd = commands.add_parser("ted", help="tree edit distance of two trees")
     ted_cmd.add_argument("tree1", help="bracket notation")
@@ -279,12 +318,52 @@ def _cmd_stats_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_session(args: argparse.Namespace) -> TreeCollection:
+    """The dataset as a session, restoring a snapshot when one applies.
+
+    ``--load-index`` names the snapshot explicitly; otherwise
+    ``<input>.repro-idx`` is auto-discovered.  Either way an unusable
+    snapshot (corrupt, stale, wrong version) only warns and rebuilds
+    cold — the snapshot path can never change results.
+    """
+    sidecar = args.load_index if args.load_index else "auto"
+    return TreeCollection.from_file(args.input, sidecar=sidecar)
+
+
+def _save_session(collection: TreeCollection, args: argparse.Namespace) -> None:
+    if not args.save_index:
+        return
+    path = collection.save(args.save_index, include_trees=False,
+                           source=args.input)
+    print(f"# saved session snapshot to {path}", file=sys.stderr)
+
+
+def _cmd_stats_snapshot(args: argparse.Namespace) -> int:
+    from repro.persist import inspect_container
+
+    info = inspect_container(args.snapshot)
+    status = "ok" if info["crc_ok"] else "CORRUPT"
+    print(
+        f"snapshot {info['path']}: format v{info['format_version']}, "
+        f"written by repro {info['library_version']}, {info['bytes']} bytes, "
+        f"checksums {status}"
+    )
+    for section in info["sections"]:
+        flag = "ok" if section["crc_ok"] else "CORRUPT"
+        print(f"  {section['name']:<12} {section['bytes']:>12} bytes  crc {flag}")
+    return 0 if info["crc_ok"] else 2
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.snapshot is not None:
+        return _cmd_stats_snapshot(args)
     if args.stream:
         _require_stream_input(args)
         return _cmd_stats_stream(args)
     if args.input is None:
-        raise InvalidParameterError("stats needs a dataset file (or --stream)")
+        raise InvalidParameterError(
+            "stats needs a dataset file (or --stream / --snapshot)"
+        )
     collection = TreeCollection.from_file(args.input)
     print(collection_stats(collection.trees).describe())
     histogram = collection.sorted.size_histogram()
@@ -309,6 +388,8 @@ def _cmd_join_stream(args: argparse.Namespace, tau: int) -> int:
         raise InvalidParameterError(
             f"--micro-batch must be >= 1, got {args.micro_batch}"
         )
+    if args.recover and args.wal is None:
+        raise InvalidParameterError("--recover needs --wal PATH (the log to replay)")
     config = PartSJConfig(
         semantics=args.semantics, postorder_filter=args.postorder_filter
     )
@@ -325,7 +406,39 @@ def _cmd_join_stream(args: argparse.Namespace, tau: int) -> int:
             else:
                 print(f"{pair.i}\t{pair.j}\t{pair.distance}", flush=True)
 
-    with StreamingJoin(tau, config=config, workers=args.workers) as join:
+    if args.recover:
+        # tau and filter config come from the log header (they shaped the
+        # logged state); the CLI tau is cross-checked, not applied.
+        engine = StreamingJoin.recover(args.wal, workers=args.workers)
+        if engine.tau != tau:
+            engine.close()
+            raise InvalidParameterError(
+                f"--tau {tau} does not match the recovered log "
+                f"(written at tau={engine.tau}); pass the log's tau"
+            )
+        recovery = dict(engine.stats().extra["wal"]["recovered"])
+        recovered_pairs = engine.results()
+        if args.json:
+            print(json.dumps({"recovered": {
+                **recovery, "pairs": len(recovered_pairs),
+            }}, sort_keys=True), flush=True)
+        else:
+            torn = (
+                f", dropped {recovery['torn_bytes']} torn tail bytes"
+                if recovery.get("torn_bytes") else ""
+            )
+            print(
+                f"# recovered {recovery['records']} trees / "
+                f"{len(recovered_pairs)} pairs from {args.wal}{torn}",
+                file=sys.stderr, flush=True,
+            )
+        emit(recovered_pairs)
+    else:
+        engine = StreamingJoin(
+            tau, config=config, workers=args.workers, wal=args.wal
+        )
+
+    with engine as join:
         def quarantine(lineno: int, error: IngestError) -> None:
             join.record_quarantine(error, source=f"stdin line {lineno}")
             if args.json:
@@ -402,7 +515,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
     # One prepared session serves every requested threshold: the parse,
     # intern, sort and verification caches are shared, and each tau pays
     # its own partitioning at most once.
-    collection = TreeCollection.from_file(args.input)
+    collection = _open_session(args)
     options = {}
     if args.method == "partsj":
         options["config"] = PartSJConfig(
@@ -428,6 +541,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         if args.pairs:
             for pair in result.pairs:
                 print(f"{pair.i}\t{pair.j}\t{pair.distance}")
+    _save_session(collection, args)
     if args.json:
         # Single-tau invocations keep the historical payload shape; a
         # multi-tau session wraps the per-tau payloads in "queries".
@@ -440,7 +554,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    collection = TreeCollection.from_file(args.input)
+    collection = _open_session(args)
     # All queries run against one prepared session: the first pays the
     # per-tau partitioning, the rest hit the warm index.
     for position, bracket in enumerate(args.query):
@@ -454,6 +568,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         for hit in hits:
             print(f"{hit.index}\t{hit.distance}")
         print(f"# {len(hits)} trees within tau={args.tau}", file=sys.stderr)
+    _save_session(collection, args)
     return 0
 
 

@@ -31,19 +31,30 @@ def save_trees(
 ) -> int:
     """Write a collection to ``path``; returns the number of trees written.
 
-    A ``.gz`` suffix turns on transparent gzip compression.
+    A ``.gz`` suffix turns on transparent gzip compression.  The write
+    is atomic (temp file + fsync + rename, :mod:`repro.persist.atomic`):
+    a crash mid-write leaves the previous file intact instead of a
+    silently truncated dataset that loads cleanly.
     """
+    from repro.persist.atomic import replace_on_success
+
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     count = 0
-    with _open_text(path, "w") as handle:
-        if comment:
-            for line in comment.splitlines():
-                handle.write(f"# {line}\n")
-        for tree in trees:
-            handle.write(to_bracket(tree))
-            handle.write("\n")
-            count += 1
+    with replace_on_success(path) as tmp:
+        # Compression is decided by the *final* suffix; the temp name is
+        # meaningless by design.
+        if path.suffix == ".gz":
+            handle = gzip.open(tmp, "wt", encoding="utf-8")
+        else:
+            handle = open(tmp, "w", encoding="utf-8")
+        with handle:
+            if comment:
+                for line in comment.splitlines():
+                    handle.write(f"# {line}\n")
+            for tree in trees:
+                handle.write(to_bracket(tree))
+                handle.write("\n")
+                count += 1
     return count
 
 

@@ -71,3 +71,64 @@ class IngestError(ReproError):
     quarantine channel instead: the item is dropped, counted in
     ``StreamStats.quarantined_trees``, and ingestion continues.
     """
+
+
+class PersistenceError(ReproError):
+    """Base class for snapshot/WAL storage errors (:mod:`repro.persist`).
+
+    The session-level loaders never let these reach a caller who asked
+    for *data*: ``TreeCollection.from_file`` catches them, warns, and
+    falls back to a cold rebuild — a broken sidecar may cost time, never
+    correctness.  They escape only from the explicit persistence entry
+    points (``TreeCollection.load``, ``StreamingJoin.recover``, the
+    container readers), where the caller named a file that must be valid.
+    """
+
+
+class SnapshotFormatError(PersistenceError):
+    """A snapshot file is not readable as a snapshot at all.
+
+    Wrong magic, a format version this library does not speak, or a file
+    truncated inside the framing — the structural failures, as opposed to
+    a well-framed section whose bytes fail their checksum
+    (:class:`SnapshotIntegrityError`).
+    """
+
+
+class SnapshotIntegrityError(PersistenceError):
+    """A snapshot section's bytes do not match their recorded CRC32,
+    or decoded content fails a load-time consistency check (e.g. a
+    reconstructed twig key differs from the stored one).  The snapshot
+    was written intact and damaged afterwards — bit rot, torn overwrite,
+    manual edit."""
+
+
+class StaleSnapshotError(PersistenceError):
+    """A sidecar snapshot no longer matches its source dataset file.
+
+    The snapshot records a digest of the dataset it was prepared from;
+    on load the digest is recomputed and compared.  A mismatch means the
+    dataset changed after the index was saved — answering from the stale
+    index could silently miss or invent results, so the loader refuses
+    (and ``from_file`` falls back to a cold rebuild instead).
+    """
+
+
+class WALCorruptError(PersistenceError):
+    """A write-ahead log is damaged *before* its final record.
+
+    A torn final record (the single record a crash mid-append can leave
+    behind) is expected damage and silently dropped during recovery;
+    corruption with valid data after it means the log was damaged at
+    rest and replaying past the hole would silently skip arrivals.  The
+    salvage attributes describe the usable prefix: ``salvaged_records``
+    complete records before the corruption, spanning ``good_bytes``
+    bytes, with the damage found at byte ``offset``.
+    """
+
+    def __init__(self, message: str, *, salvaged_records: int = 0,
+                 good_bytes: int = 0, offset: int = 0):
+        super().__init__(message)
+        self.salvaged_records = salvaged_records
+        self.good_bytes = good_bytes
+        self.offset = offset

@@ -51,6 +51,7 @@ from __future__ import annotations
 import dataclasses
 import random
 import time
+import warnings
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.baselines.common import (
@@ -188,6 +189,39 @@ class _PreparedTau:
         self._searcher = None
         self.build_time = time.perf_counter() - started
 
+    @classmethod
+    def _restore(
+        cls,
+        collection: "TreeCollection",
+        tau: int,
+        config: PartSJConfig,
+        partitions: dict[int, list],
+        gammas: dict[int, int],
+        small: list[int],
+        build_time: float,
+    ) -> "_PreparedTau":
+        """Rebuild from snapshot state, bypassing the partition loop.
+
+        The caller (:mod:`repro.persist.snapshot`) supplies subgraphs
+        reconstructed over the collection's own caches and verified
+        against their stored twig keys, so the restored artifact is
+        indistinguishable from a freshly computed one — same dict
+        orders, same gamma values, same rank assignment.
+        """
+        prep = object.__new__(cls)
+        prep.collection = collection
+        prep.tau = tau
+        prep.config = config
+        prep.delta = 2 * tau + 1
+        prep.min_size = min_partitionable_size(tau)
+        prep.partitions = partitions
+        prep.gammas = gammas
+        prep.small = small
+        prep._search_index = None
+        prep._searcher = None
+        prep.build_time = build_time
+        return prep
+
     def join_state(self) -> PreparedJoinState:
         """The driver-consumable view (see :class:`PreparedJoinState`)."""
         col = self.collection
@@ -277,6 +311,7 @@ class TreeCollection:
         self._results: dict = {}
         self._verifier_caches = VerifierCaches()
         self._merged: dict[int, tuple] = {}  # id(other) -> (other, merged)
+        self._provenance: Optional[dict] = None  # set by snapshot loads
 
     # -- construction --------------------------------------------------------
 
@@ -286,12 +321,104 @@ class TreeCollection:
         return cls(trees)
 
     @classmethod
-    def from_file(cls, path) -> "TreeCollection":
+    def from_file(cls, path, sidecar="auto") -> "TreeCollection":
         """A session over a dataset file (one bracket tree per line,
-        ``.gz`` supported; see :mod:`repro.datasets.io`)."""
+        ``.gz`` supported; see :mod:`repro.datasets.io`).
+
+        ``sidecar`` controls snapshot auto-discovery: ``"auto"`` (the
+        default) loads ``<path>.repro-idx`` next to the dataset when it
+        exists, restoring every prepared tau saved there; a path loads
+        that snapshot explicitly; ``None`` disables the lookup.  A
+        snapshot that is corrupt, stale (the dataset changed since it
+        was saved) or otherwise unusable is **never** trusted: the
+        session warns and rebuilds cold instead, so a broken sidecar can
+        cost preparation time but not correctness.
+        """
         from repro.datasets.io import load_trees
 
-        return cls(load_trees(path))
+        trees = load_trees(path)
+        snapshot_path = None
+        if sidecar == "auto":
+            from repro.persist.snapshot import sidecar_path
+
+            candidate = sidecar_path(path)
+            if candidate.exists():
+                snapshot_path = candidate
+        elif sidecar is not None:
+            snapshot_path = sidecar
+        if snapshot_path is not None:
+            from repro.errors import PersistenceError
+            from repro.persist.snapshot import load_collection
+
+            try:
+                return load_collection(
+                    snapshot_path, trees=trees, expected_source=path
+                )
+            except PersistenceError as exc:
+                warnings.warn(
+                    f"ignoring snapshot {snapshot_path}: {exc} — "
+                    "rebuilding the session cold",
+                    stacklevel=2,
+                )
+        return cls(trees)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path, include_trees: bool = True, source=None):
+        """Snapshot this session — trees and every prepared tau — to ``path``.
+
+        The write is atomic (temp + fsync + rename) and every section is
+        checksummed; see :mod:`repro.persist`.  ``include_trees=False``
+        writes a *sidecar* (partitions, interner, order only) meant to
+        live next to its dataset file — pass ``source=<dataset path>``
+        so loads can verify the dataset has not changed since.  Returns
+        the written path.
+        """
+        from repro.persist.snapshot import save_collection
+
+        return save_collection(
+            self, path, include_trees=include_trees, source=source
+        )
+
+    @classmethod
+    def load(cls, path, trees: Optional[Sequence[Tree]] = None) -> "TreeCollection":
+        """Rebuild a session from a :meth:`save` snapshot.
+
+        Every section checksum is verified, labels are re-interned in
+        their stored order (so packed twig keys are reproduced exactly),
+        the size-sorted order is recomputed and compared, and every
+        restored subgraph's twig key is recomputed against the stored
+        one — a loaded session answers joins and searches bit-identically
+        to the session that was saved.  Raises the
+        :class:`~repro.errors.PersistenceError` family on any damage;
+        use :meth:`from_file` for the warn-and-rebuild behavior.
+        """
+        from repro.persist.snapshot import load_collection
+
+        return load_collection(path, trees=trees)
+
+    @property
+    def provenance(self) -> Optional[dict]:
+        """Where this session came from, when loaded from a snapshot
+        (path, format/library versions, sections, restored taus) —
+        ``None`` for sessions built in-process."""
+        return self._provenance
+
+    def drop_caches(self, deep: bool = False) -> None:
+        """Release derived state kept for query reuse.
+
+        The default drops the result cache and the merged R×S sessions
+        (the unbounded-growth candidates); ``deep=True`` additionally
+        drops every prepared tau, tree cache and verification cache,
+        returning the session to its just-constructed footprint.  The
+        next query rebuilds whatever it needs — results are unaffected.
+        """
+        self._results.clear()
+        self._merged.clear()
+        if deep:
+            self._prepared.clear()
+            self._caches.clear()
+            self._verifier_caches = VerifierCaches()
 
     # -- shared state --------------------------------------------------------
 
@@ -404,7 +531,7 @@ class TreeCollection:
     def stats(self) -> dict:
         """Session-level statistics (for diagnostics and the CLI)."""
         sizes = self.sorted.sizes if self._trees else []
-        return {
+        stats = {
             "trees": len(self._trees),
             "size_min": sizes[0] if sizes else None,
             "size_max": sizes[-1] if sizes else None,
@@ -412,7 +539,11 @@ class TreeCollection:
             "prepared": [prep.describe() for prep in self._prepared.values()],
             "cached_results": len(self._results),
             "verifier_annotations": len(self._verifier_caches.annotated),
+            "merged_sessions": len(self._merged),
         }
+        if self._provenance is not None:
+            stats["snapshot"] = dict(self._provenance)
+        return stats
 
     # -- query builders ------------------------------------------------------
 
@@ -518,6 +649,10 @@ class TreeCollection:
         ):
             del self._merged[id(other)]
             return None
+        # True LRU: a hit moves the entry to the recently-used end, so
+        # eviction (oldest-first insertion order) drops the right side
+        # least recently queried, not least recently first seen.
+        self._merged[id(other)] = self._merged.pop(id(other))
         return entry[2]
 
     def _merged_with(

@@ -137,6 +137,18 @@ class StreamingJoin:
         through the background verification pool — results are identical,
         but arrive asynchronously (collected on later :meth:`add` calls
         and by :meth:`flush`).
+    wal:
+        Optional path of a write-ahead log.  Every arrival is appended
+        (per-record CRC32) *before* it mutates engine state, so a
+        crashed stream resumes via :meth:`recover` with state
+        bit-identical to a batch join over the logged prefix.  An
+        existing file at this path is truncated — a fresh engine is a
+        fresh stream; continuing an old log is :meth:`recover`'s job.
+    wal_fsync:
+        Durability policy of the log: ``"always"`` fsyncs every arrival
+        before ``add`` returns, ``"batch"`` (default) fsyncs at flush
+        points (:meth:`flush` / :meth:`close`), ``"never"`` leaves it to
+        the OS.  See :mod:`repro.persist.wal`.
 
     Usage::
 
@@ -156,6 +168,8 @@ class StreamingJoin:
         tau: int,
         config: Optional[PartSJConfig] = None,
         workers: Optional[int] = None,
+        wal: Optional[str] = None,
+        wal_fsync: str = "batch",
     ):
         check_tau(tau)
         cfg = (config or PartSJConfig()).resolved()
@@ -184,6 +198,15 @@ class StreamingJoin:
         self._min_size = self._driver.min_size
         self._strict = cfg.semantics is MatchSemantics.PAPER
         self._closed = False
+        self._recovered: Optional[dict] = None
+        self._wal = None
+        if wal is not None:
+            from repro.persist.wal import StreamWAL
+
+            # A fresh engine means a fresh stream: arrival indices start
+            # at 0, so an existing log is truncated, not appended to
+            # (continuing an old log is recover()'s job).
+            self._wal = StreamWAL.create(wal, tau, cfg, fsync=wal_fsync)
 
     # -- ingestion -----------------------------------------------------------
 
@@ -202,6 +225,15 @@ class StreamingJoin:
                 f"add expects a Tree, got {type(tree).__name__}"
             )
         start = time.perf_counter()
+        if self._wal is not None:
+            # Write-ahead: log the arrival before any engine state
+            # changes.  A crash after the append replays this tree on
+            # recovery; a crash before it loses the tree but leaves the
+            # log describing exactly the applied prefix — either way the
+            # recovered state is batch-equivalent over the logged trees.
+            from repro.tree.bracket import to_bracket
+
+            self._wal.append(to_bracket(tree))
         i = self.collection.insert(tree)
         candidates, subgraphs = self._driver.ingest(i)
         if subgraphs is not None:
@@ -338,7 +370,11 @@ class StreamingJoin:
         After a flush, :meth:`results` is complete for the ingested
         prefix — the streaming flush point the batch-equivalence property
         is stated at.  A no-op (empty list) with inline verification.
+        With a WAL attached, a flush is also a durability point: under
+        the ``"batch"`` fsync policy the logged prefix is synced here.
         """
+        if self._wal is not None:
+            self._wal.sync()
         if self._pool is None:
             return []
         found = [JoinPair(*triple) for triple in self._pool.drain()]
@@ -403,6 +439,11 @@ class StreamingJoin:
         extra["ted_calls"] = ted_calls
         if self._quarantine_log:
             extra["quarantine_log"] = list(self._quarantine_log)
+        if self._wal is not None or self._recovered is not None:
+            wal_info = self._wal.describe() if self._wal is not None else {}
+            if self._recovered is not None:
+                wal_info["recovered"] = dict(self._recovered)
+            extra["wal"] = wal_info
         return StreamStats(
             trees=len(self.trees),
             results=len(self._pairs),
@@ -423,7 +464,8 @@ class StreamingJoin:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Drain pending work and release the background pool (idempotent)."""
+        """Drain pending work, sync and close the WAL, release the
+        background pool (idempotent)."""
         if self._closed:
             return
         try:
@@ -432,7 +474,60 @@ class StreamingJoin:
             if self._pool is not None:
                 self._pool.close()
                 self._pool = None
+            if self._wal is not None:
+                self._wal.close()
             self._closed = True
+
+    # -- recovery ------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        path,
+        workers: Optional[int] = None,
+        fsync: str = "batch",
+        resume: bool = True,
+    ) -> "StreamingJoin":
+        """Rebuild an engine from a write-ahead log after a crash.
+
+        Reads the log (tolerating a torn final record — the one kind of
+        damage a crash mid-append can cause), then replays every logged
+        arrival through the normal ingest path, so the returned engine's
+        state — trees, sorted order, indexes, verified pairs — is
+        **bit-identical to a batch join over the logged prefix**.  With
+        ``resume=True`` (default) the log's torn tail is truncated away
+        and the engine keeps appending to it, so ingestion continues
+        where the crashed process left off.
+
+        ``tau`` and the filter config come from the log header, not from
+        arguments — a WAL only replays correctly under the config it was
+        written with.  ``workers`` is an execution knob and may differ.
+
+        Raises
+        ------
+        SnapshotFormatError
+            Not a WAL, or an unreadable/unsupported header.
+        WALCorruptError
+            Damage *before* the final record (salvage stats attached):
+            replaying past a mid-log hole would silently drop arrivals.
+        """
+        from repro.persist.wal import StreamWAL, scan_wal
+        from repro.tree.bracket import parse_bracket
+
+        scanned = scan_wal(path)
+        header = scanned["header"]
+        config = PartSJConfig(**header["config"]).resolved()
+        engine = cls(header["tau"], config=config, workers=workers)
+        for bracket in scanned["brackets"]:
+            engine.add(parse_bracket(bracket))
+        engine.flush()
+        salvage = scanned["salvage"]
+        engine._recovered = {"path": str(path), **salvage}
+        if resume:
+            engine._wal = StreamWAL.reopen(
+                path, salvage["good_bytes"], salvage["records"], fsync=fsync
+            )
+        return engine
 
     def __enter__(self) -> "StreamingJoin":
         return self

@@ -136,12 +136,19 @@ class StreamJoinService:
         config: Optional[PartSJConfig] = None,
         workers: Optional[int] = None,
         on_error: str = "fail",
+        wal: Optional[str] = None,
+        wal_fsync: str = "batch",
     ):
         if on_error not in ("fail", "skip"):
             raise InvalidParameterError(
                 f"on_error must be 'fail' or 'skip', got {on_error!r}"
             )
-        self._join = StreamingJoin(tau, config=config, workers=workers)
+        # wal / wal_fsync pass straight to the engine: arrivals are
+        # logged before they mutate state, and every service flush is a
+        # WAL sync point (see repro.persist.wal for the policy promises).
+        self._join = StreamingJoin(
+            tau, config=config, workers=workers, wal=wal, wal_fsync=wal_fsync
+        )
         self._lock = asyncio.Lock()
         self._subscribers: list[Subscription] = []
         self._on_error = on_error

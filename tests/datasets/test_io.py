@@ -50,6 +50,39 @@ class TestStreaming:
         assert [t.root.label for t in load_trees(path)] == ["a", "b"]
 
 
+class TestAtomicity:
+    """save_trees is all-or-nothing (temp + fsync + rename)."""
+
+    def _crashing_forest(self, good, boom_after):
+        yield from good[:boom_after]
+        raise RuntimeError("simulated crash mid-write")
+
+    def test_failed_save_leaves_the_old_file_intact(self, tmp_path):
+        old = [Tree.from_bracket("{a{b}}"), Tree.from_bracket("{c}")]
+        new = generate_forest(8, SyntheticParams(avg_size=8), seed=3)
+        path = tmp_path / "forest.trees"
+        save_trees(old, path)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            save_trees(self._crashing_forest(new, 5), path)
+        assert load_trees(path) == old
+        assert list(tmp_path.iterdir()) == [path]  # no temp debris
+
+    def test_failed_first_save_leaves_nothing(self, tmp_path):
+        path = tmp_path / "forest.trees"
+        with pytest.raises(RuntimeError):
+            save_trees(self._crashing_forest([Tree.from_bracket("{a}")], 1), path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_gzip_is_chosen_by_the_final_suffix(self, tmp_path):
+        # The temp file's name carries no .gz; compression must key off
+        # the destination path, not the file actually being written.
+        forest = [Tree.from_bracket("{a{b}{c}}")]
+        path = tmp_path / "forest.trees.gz"
+        save_trees(forest, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert load_trees(path) == forest
+
+
 class TestErrors:
     def test_malformed_line_reports_position(self, tmp_path):
         path = tmp_path / "bad.trees"

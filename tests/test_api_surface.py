@@ -47,6 +47,9 @@ EXPECTED_EXPORTS = {
     "ReproError", "TreeFormatError", "InvalidParameterError",
     "EditOperationError", "NotPartitionableError",
     "WorkerFailureError", "TaskTimeoutError", "IngestError",
+    # persistence errors
+    "PersistenceError", "SnapshotFormatError", "SnapshotIntegrityError",
+    "StaleSnapshotError", "WALCorruptError",
     # metadata
     "__version__",
 }

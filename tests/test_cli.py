@@ -159,3 +159,151 @@ class TestErrors:
         assert main([
             "search", str(dataset_file), "--query", "{broken", "--tau", "1",
         ]) == 2
+
+
+class TestPersistenceFlags:
+    def test_join_save_then_load_index(self, dataset_file, tmp_path, capsys):
+        snapshot = tmp_path / "forest.idx"
+        assert main([
+            "join", str(dataset_file), "--tau", "2", "--json",
+            "--save-index", str(snapshot),
+        ]) == 0
+        first = capsys.readouterr()
+        assert snapshot.exists()
+        assert "saved session snapshot" in first.err
+        assert main([
+            "join", str(dataset_file), "--tau", "2", "--json",
+            "--load-index", str(snapshot),
+        ]) == 0
+        second = capsys.readouterr()
+        assert json.loads(second.out)["pairs"] == json.loads(first.out)["pairs"]
+
+    def test_sidecar_auto_discovery(self, dataset_file, capsys):
+        sidecar = dataset_file.with_name(dataset_file.name + ".repro-idx")
+        assert main([
+            "join", str(dataset_file), "--tau", "1", "--json",
+            "--save-index", str(sidecar),
+        ]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(["join", str(dataset_file), "--tau", "1", "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["pairs"] == cold["pairs"]
+
+    def test_corrupt_sidecar_warns_and_rebuilds(self, dataset_file, capsys):
+        import pytest as _pytest
+
+        sidecar = dataset_file.with_name(dataset_file.name + ".repro-idx")
+        assert main([
+            "join", str(dataset_file), "--tau", "1", "--json",
+            "--save-index", str(sidecar),
+        ]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        blob = bytearray(sidecar.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        sidecar.write_bytes(bytes(blob))
+        with _pytest.warns(UserWarning, match="rebuilding the session cold"):
+            assert main([
+                "join", str(dataset_file), "--tau", "1", "--json",
+            ]) == 0
+        assert json.loads(capsys.readouterr().out)["pairs"] == cold["pairs"]
+
+    def test_search_save_and_load_index(self, dataset_file, tmp_path, capsys):
+        trees = load_trees(dataset_file)
+        snapshot = tmp_path / "search.idx"
+        query = trees[0].to_bracket()
+        assert main([
+            "search", str(dataset_file), "--query", query, "--tau", "1",
+            "--save-index", str(snapshot),
+        ]) == 0
+        first = capsys.readouterr().out
+        assert main([
+            "search", str(dataset_file), "--query", query, "--tau", "1",
+            "--load-index", str(snapshot),
+        ]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_stats_snapshot_provenance(self, dataset_file, tmp_path, capsys):
+        snapshot = tmp_path / "forest.idx"
+        main(["join", str(dataset_file), "--tau", "1",
+              "--save-index", str(snapshot)])
+        capsys.readouterr()
+        assert main(["stats", "--snapshot", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "format v1" in out
+        assert "checksums ok" in out
+        assert "prep:0" in out
+
+    def test_stats_snapshot_reports_corruption(self, dataset_file, tmp_path,
+                                               capsys):
+        snapshot = tmp_path / "forest.idx"
+        main(["join", str(dataset_file), "--tau", "1",
+              "--save-index", str(snapshot)])
+        capsys.readouterr()
+        blob = bytearray(snapshot.read_bytes())
+        blob[-2] ^= 0xFF
+        snapshot.write_bytes(bytes(blob))
+        assert main(["stats", "--snapshot", str(snapshot)]) == 2
+        assert "CORRUPT" in capsys.readouterr().out
+
+
+class TestStreamWALFlags:
+    BRACKETS = "{a{b}{c}}\n{a{b}}\n{a{b}{c{d}}}\n"
+
+    def _run_stream(self, monkeypatch, argv, stdin=""):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(stdin))
+        return main(argv)
+
+    def test_stream_writes_a_replayable_wal(self, tmp_path, monkeypatch,
+                                            capsys):
+        from repro.persist import scan_wal
+
+        wal = tmp_path / "arrivals.wal"
+        assert self._run_stream(monkeypatch, [
+            "join", "--stream", "--tau", "1", "--wal", str(wal),
+        ], stdin=self.BRACKETS) == 0
+        live = capsys.readouterr().out
+        assert scan_wal(wal)["brackets"] == self.BRACKETS.split()
+        # Replay the log with nothing new on stdin: same pairs come back.
+        assert self._run_stream(monkeypatch, [
+            "join", "--stream", "--tau", "1", "--wal", str(wal), "--recover",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == live
+        assert "recovered 3 trees" in captured.err
+
+    def test_recover_continues_ingesting(self, tmp_path, monkeypatch, capsys):
+        from repro.persist import scan_wal
+
+        wal = tmp_path / "arrivals.wal"
+        self._run_stream(monkeypatch, [
+            "join", "--stream", "--tau", "1", "--wal", str(wal),
+        ], stdin=self.BRACKETS)
+        capsys.readouterr()
+        assert self._run_stream(monkeypatch, [
+            "join", "--stream", "--tau", "1", "--wal", str(wal), "--recover",
+            "--json",
+        ], stdin="{a{b}{c}{d}}\n") == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert lines[0]["recovered"]["records"] == 3
+        assert scan_wal(wal)["salvage"]["records"] == 4
+
+    def test_recover_requires_wal(self, monkeypatch, capsys):
+        assert self._run_stream(monkeypatch, [
+            "join", "--stream", "--tau", "1", "--recover",
+        ]) == 2
+        assert "--recover needs --wal" in capsys.readouterr().err
+
+    def test_recover_rejects_mismatched_tau(self, tmp_path, monkeypatch,
+                                            capsys):
+        wal = tmp_path / "arrivals.wal"
+        self._run_stream(monkeypatch, [
+            "join", "--stream", "--tau", "1", "--wal", str(wal),
+        ], stdin=self.BRACKETS)
+        capsys.readouterr()
+        assert self._run_stream(monkeypatch, [
+            "join", "--stream", "--tau", "2", "--wal", str(wal), "--recover",
+        ]) == 2
+        assert "does not match the recovered log" in capsys.readouterr().err

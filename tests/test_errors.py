@@ -7,9 +7,14 @@ from repro.errors import (
     IngestError,
     InvalidParameterError,
     NotPartitionableError,
+    PersistenceError,
     ReproError,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    StaleSnapshotError,
     TaskTimeoutError,
     TreeFormatError,
+    WALCorruptError,
     WorkerFailureError,
 )
 
@@ -17,7 +22,8 @@ from repro.errors import (
 def test_all_errors_derive_from_repro_error():
     for cls in (TreeFormatError, InvalidParameterError, EditOperationError,
                 NotPartitionableError, WorkerFailureError, TaskTimeoutError,
-                IngestError):
+                IngestError, PersistenceError, SnapshotFormatError,
+                SnapshotIntegrityError, StaleSnapshotError, WALCorruptError):
         assert issubclass(cls, ReproError)
 
 
@@ -27,6 +33,22 @@ def test_value_error_compatibility():
     assert issubclass(TreeFormatError, ValueError)
     assert issubclass(InvalidParameterError, ValueError)
     assert issubclass(EditOperationError, ValueError)
+
+
+def test_persistence_errors_share_one_catch_site():
+    # from_file's warn-and-rebuild fallback catches PersistenceError; every
+    # load-time failure mode must funnel through it.
+    for cls in (SnapshotFormatError, SnapshotIntegrityError,
+                StaleSnapshotError, WALCorruptError):
+        assert issubclass(cls, PersistenceError)
+
+
+def test_wal_corrupt_error_carries_salvage_stats():
+    exc = WALCorruptError("damaged", salvaged_records=3, good_bytes=120,
+                          offset=128)
+    assert exc.salvaged_records == 3
+    assert exc.good_bytes == 120
+    assert exc.offset == 128
 
 
 def test_single_catch_site():

@@ -16,6 +16,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 FAST_EXAMPLES = [
     "quickstart",
     "session_reuse",
+    "session_persist",
     "xml_near_duplicates",
     "rna_motifs",
     "sentence_paraphrases",
@@ -42,8 +43,9 @@ def test_example_runs(name, capsys):
 
 def test_examples_directory_complete():
     present = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
-    assert {"quickstart", "session_reuse", "xml_near_duplicates",
-            "rna_motifs", "sentence_paraphrases", "benchmark_tour"} <= present
+    assert {"quickstart", "session_reuse", "session_persist",
+            "xml_near_duplicates", "rna_motifs", "sentence_paraphrases",
+            "benchmark_tour"} <= present
 
 
 def test_quickstart_mentions_its_own_invariants(capsys):

@@ -512,3 +512,48 @@ class TestFromFile:
         assert triples(col.join(1).run().pairs) == triples(
             partsj_join(forest, 1).pairs
         )
+
+
+class TestCacheManagement:
+    def test_merged_cache_evicts_least_recently_used(self, forest):
+        col = TreeCollection.from_trees(forest[:4])
+        limit = TreeCollection._MERGED_CACHE_LIMIT
+        rights = [[tree.copy()] for tree in forest[:limit]]
+        for right in rights:
+            col.join_with(right, 0).run()
+        # Touch the oldest entry: a hit must refresh its recency...
+        col.join_with(rights[0], 0).run()
+        assert len(col._merged) == limit
+        # ...so the next insertion evicts rights[1], not rights[0].
+        col.join_with([forest[-1].copy()], 0).run()
+        assert id(rights[0]) in col._merged
+        assert id(rights[1]) not in col._merged
+
+    def test_drop_caches_releases_query_state(self, forest):
+        col = TreeCollection.from_trees(forest)
+        col.join(1).run()
+        col.join_with([forest[0].copy()], 0).run()
+        assert col.stats()["cached_results"] > 0
+        assert col.stats()["merged_sessions"] == 1
+        col.drop_caches()
+        stats = col.stats()
+        assert stats["cached_results"] == 0
+        assert stats["merged_sessions"] == 0
+        assert col.prepared_taus() == [1]  # prepared state survives
+        assert triples(col.join(1).run().pairs) == triples(
+            partsj_join(forest, 1).pairs
+        )
+
+    def test_drop_caches_deep_resets_to_cold(self, forest):
+        col = TreeCollection.from_trees(forest)
+        col.join(1).run()
+        col.search(forest[0], 1).run()
+        col.drop_caches(deep=True)
+        stats = col.stats()
+        assert col.prepared_taus() == []
+        assert stats["tree_caches"] == 0
+        assert stats["verifier_annotations"] == 0
+        # The session is still fully usable and still bit-identical.
+        assert triples(col.join(1).run().pairs) == triples(
+            partsj_join(forest, 1).pairs
+        )
