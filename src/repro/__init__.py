@@ -69,6 +69,18 @@ from repro.errors import (
     WALCorruptError,
     WorkerFailureError,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    format_span_tree,
+    get_registry,
+    publish_join_stats,
+    publish_stream_stats,
+    read_jsonl,
+    render_prometheus,
+    write_jsonl,
+)
 from repro.resilience import FaultInjector, RetryPolicy
 from repro.rsjoin import similarity_join_rs
 from repro.search import SearchHit, SimilaritySearcher, similarity_search
@@ -136,6 +148,17 @@ __all__ = [
     "sentiment_like",
     "save_trees",
     "load_trees",
+    # observability (tracing / metrics / exporters; see repro.obs)
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "get_registry",
+    "publish_join_stats",
+    "publish_stream_stats",
+    "write_jsonl",
+    "read_jsonl",
+    "render_prometheus",
+    "format_span_tree",
     # resilience (fault-tolerant execution; see repro.resilience)
     "RetryPolicy",
     "FaultInjector",

@@ -105,6 +105,74 @@ Prepared sessions and streaming state survive process death
   mid-append crash can cause) and refusing — with salvage statistics on
   :class:`~repro.errors.WALCorruptError` — to replay past a mid-log
   hole, which would silently drop arrivals.
+
+Observability
+-------------
+Every execution tier is instrumented (:mod:`repro.obs`), with one
+invariant: **observability never changes results**.  Pairs, distances
+and every ``JoinStats`` / ``StreamStats`` field are bit-identical with
+tracing on, off, or under injected faults; with tracing off the hot
+path runs through a shared no-op tracer whose ``span()`` is a constant
+context manager.
+
+- **Tracing** — pass ``trace=repro.Tracer()`` to any plan's ``run()``
+  (or ``tracer=`` to :class:`~repro.stream.engine.StreamingJoin` /
+  :class:`~repro.stream.service.StreamJoinService`), then export the
+  finished spans with :func:`repro.obs.write_jsonl` or render them with
+  :func:`repro.obs.format_span_tree`.  Span names are a contract:
+
+  - ``join`` — one per executed join (attrs: ``method``, ``tau``,
+    ``workers``, ``trees``, ``results``);
+  - serial PartSJ: ``partsj.loop`` > ``partsj.probe`` /
+    ``partsj.index`` / ``partsj.verify`` per loop pass;
+  - parallel PartSJ: ``parallel.plan``, ``parallel.candidates`` >
+    ``shard:<n>`` (one per shard, relayed from the worker process,
+    ``pid``-stamped) > ``partsj.band`` / ``partsj.probe`` /
+    ``partsj.index``, then ``verify.parallel`` > ``verify.chunk``;
+  - streaming: ``wal.append``, ``wal.sync``, ``wal.recover``,
+    ``stream.flush``, ``verify.stream_chunk``;
+  - persistence: ``snapshot.save``, ``snapshot.load``;
+  - search: ``search``.
+
+  Worker-side spans are captured unconditionally as plain dicts,
+  shipped back inside the CRC-sealed result envelopes and grafted under
+  the coordinator's span only when tracing is enabled — no flag crosses
+  the pool boundary.  A traced ``run()`` bypasses the session result
+  *cache read* (a cache hit would emit no spans) but still stores its
+  result; the returned pairs are bit-identical either way.
+
+- **Metrics** — every executed ``JoinPlan.run()`` publishes into the
+  process-wide :class:`~repro.obs.metrics.MetricsRegistry`
+  (:func:`repro.obs.get_registry`); ``StreamJoinService.stats()`` and
+  ``close()`` fan out ``StreamStats`` the same way.  Families:
+  ``repro_join_runs_total``, ``repro_join_trees_total``,
+  ``repro_join_candidates_total``, ``repro_join_results_total``,
+  ``repro_join_ted_calls_total``, ``repro_join_pairs_considered_total``
+  (labels ``method``, ``tau``), ``repro_join_phase_seconds{phase}``,
+  ``repro_join_counter_total{counter}`` (one series per integer
+  ``JoinStats.extra`` counter), and on the stream side
+  ``repro_stream_snapshots_total``, gauges ``repro_stream_trees`` /
+  ``_results`` / ``_pending_verification`` / ``_candidates`` /
+  ``_index_entries``, ``repro_stream_quarantined_trees_total`` /
+  ``_pairs_total``, ``repro_stream_wall_seconds{phase}``,
+  ``repro_stream_counter_total{counter}``.
+  :func:`repro.obs.render_prometheus` renders any registry as text
+  exposition format 0.0.4.
+
+- **Plans** — every ``QueryPlan.explain()`` carries an
+  ``"observability"`` section listing the span names that run would
+  emit and the metric families it would publish.
+
+- **CLI** — ``join --trace PATH`` writes the run's spans as JSONL (one
+  object per line with keys ``name``, ``span_id``, ``parent_id``,
+  ``trace_id``, ``start``, ``duration``, ``pid`` plus span attributes);
+  ``repro-trees trace PATH`` pretty-prints such a file; ``stats
+  --metrics`` emits Prometheus text instead of the human report.  The
+  ``join --json`` payload is unchanged: ``{"stats": {"method", "tau",
+  "trees", "workers", "candidates", "results", "candidate_time",
+  "probe_time", "index_time", "verify_time", "ted_calls", "extra"},
+  "pairs": [[i, j, distance], ...]}`` (wrapped per-tau under
+  ``"queries"`` when ``--tau`` repeats).
 """
 
 from __future__ import annotations

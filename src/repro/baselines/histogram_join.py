@@ -9,7 +9,6 @@ harness and exercises :mod:`repro.ted.bounds` at scale.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 from repro.baselines.common import (
@@ -20,6 +19,7 @@ from repro.baselines.common import (
     Verifier,
     check_join_inputs,
 )
+from repro.obs.trace import phase_timer
 from repro.ted.bounds import multiset_l1 as _multiset_l1
 from repro.tree.node import Tree
 
@@ -64,12 +64,14 @@ def histogram_join(
         i = collection.original_index(pos_a)
         j = collection.original_index(pos_b)
 
-        start = time.perf_counter()
-        label_ok = _multiset_l1(feats[i].label_bag, feats[j].label_bag) <= 2 * tau
-        degree_ok = label_ok and (
-            _multiset_l1(feats[i].degree_bag, feats[j].degree_bag) <= 3 * tau
-        )
-        stats.candidate_time += time.perf_counter() - start
+        with phase_timer(stats, "candidate_time"):
+            label_ok = (
+                _multiset_l1(feats[i].label_bag, feats[j].label_bag) <= 2 * tau
+            )
+            degree_ok = label_ok and (
+                _multiset_l1(feats[i].degree_bag, feats[j].degree_bag)
+                <= 3 * tau
+            )
         if not label_ok:
             pruned_labels += 1
             continue

@@ -10,7 +10,6 @@ nested loop.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 from repro.baselines.common import (
@@ -21,6 +20,7 @@ from repro.baselines.common import (
     Verifier,
     check_join_inputs,
 )
+from repro.obs.trace import phase_timer
 from repro.ted.bounds import multiset_l1 as _multiset_l1
 from repro.tree.node import Tree
 
@@ -79,14 +79,13 @@ def nested_loop_join(
         i = collection.original_index(pos_a)
         j = collection.original_index(pos_b)
         if use_bounds:
-            start = time.perf_counter()
-            fi, fj = feats[i], feats[j]
-            pruned = (
-                _multiset_l1(fi.label_bag, fj.label_bag) > 2 * tau
-                or _multiset_l1(fi.degree_bag, fj.degree_bag) > 3 * tau
-                or _multiset_l1(fi.branch_bag, fj.branch_bag) > 5 * tau
-            )
-            stats.candidate_time += time.perf_counter() - start
+            with phase_timer(stats, "candidate_time"):
+                fi, fj = feats[i], feats[j]
+                pruned = (
+                    _multiset_l1(fi.label_bag, fj.label_bag) > 2 * tau
+                    or _multiset_l1(fi.degree_bag, fj.degree_bag) > 3 * tau
+                    or _multiset_l1(fi.branch_bag, fj.branch_bag) > 5 * tau
+                )
             if pruned:
                 continue
         stats.candidates += 1

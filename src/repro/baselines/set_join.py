@@ -14,7 +14,6 @@ its candidate count grows quickly with ``tau``.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 from repro.baselines.binary_branch import branch_bag_distance
@@ -26,6 +25,7 @@ from repro.baselines.common import (
     Verifier,
     check_join_inputs,
 )
+from repro.obs.trace import phase_timer
 from repro.tree.node import Tree
 
 __all__ = ["set_join"]
@@ -57,9 +57,8 @@ def set_join(trees: Sequence[Tree], tau: int, workers: int = 1) -> JoinResult:
 
     # Branch bags come from the verifier's shared per-tree feature cache
     # (only the branch part is materialized; the rest stays lazy).
-    start = time.perf_counter()
-    bags = [verifier.features(k).branch_bag for k in range(len(trees))]
-    stats.candidate_time += time.perf_counter() - start
+    with phase_timer(stats, "candidate_time"):
+        bags = [verifier.features(k).branch_bag for k in range(len(trees))]
 
     budget = 5 * tau
     pruned = 0
@@ -69,9 +68,8 @@ def set_join(trees: Sequence[Tree], tau: int, workers: int = 1) -> JoinResult:
         i = collection.original_index(pos_a)
         j = collection.original_index(pos_b)
 
-        start = time.perf_counter()
-        bib = branch_bag_distance(bags[i], bags[j])
-        stats.candidate_time += time.perf_counter() - start
+        with phase_timer(stats, "candidate_time"):
+            bib = branch_bag_distance(bags[i], bags[j])
         if bib > budget:
             pruned += 1
             continue

@@ -18,7 +18,6 @@ observes.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 from repro.baselines.common import (
@@ -29,6 +28,7 @@ from repro.baselines.common import (
     Verifier,
     check_join_inputs,
 )
+from repro.obs.trace import phase_timer
 from repro.ted.string_edit import string_edit_distance, string_edit_within
 from repro.tree.node import Tree
 
@@ -79,10 +79,9 @@ def str_join(
     )
 
     # Traversal strings are computed once per tree, not once per pair.
-    start = time.perf_counter()
-    preorders = [tree.preorder_labels() for tree in trees]
-    postorders = [tree.postorder_labels() for tree in trees]
-    stats.candidate_time += time.perf_counter() - start
+    with phase_timer(stats, "candidate_time"):
+        preorders = [tree.preorder_labels() for tree in trees]
+        postorders = [tree.postorder_labels() for tree in trees]
 
     pruned_pre = 0
     pruned_post = 0
@@ -92,18 +91,21 @@ def str_join(
         i = collection.original_index(pos_a)
         j = collection.original_index(pos_b)
 
-        start = time.perf_counter()
-        if banded:
-            pre_ok = string_edit_within(preorders[i], preorders[j], tau) is not None
-            post_ok = pre_ok and (
-                string_edit_within(postorders[i], postorders[j], tau) is not None
-            )
-        else:
-            pre_ok = string_edit_distance(preorders[i], preorders[j]) <= tau
-            post_ok = pre_ok and (
-                string_edit_distance(postorders[i], postorders[j]) <= tau
-            )
-        stats.candidate_time += time.perf_counter() - start
+        with phase_timer(stats, "candidate_time"):
+            if banded:
+                pre_ok = (
+                    string_edit_within(preorders[i], preorders[j], tau)
+                    is not None
+                )
+                post_ok = pre_ok and (
+                    string_edit_within(postorders[i], postorders[j], tau)
+                    is not None
+                )
+            else:
+                pre_ok = string_edit_distance(preorders[i], preorders[j]) <= tau
+                post_ok = pre_ok and (
+                    string_edit_distance(postorders[i], postorders[j]) <= tau
+                )
         if not pre_ok:
             pruned_pre += 1
             continue

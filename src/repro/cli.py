@@ -23,6 +23,14 @@ such a log; ``stats --snapshot PATH`` prints a snapshot's provenance
 and checksum status.  See :mod:`repro.persist`.
 - ``ted``        — tree edit distance between two bracket-notation trees.
 - ``experiment`` — run one of the paper's figure reproductions.
+- ``trace``      — render a JSONL trace written by ``join --trace PATH``
+  as an indented span tree with durations and attributes.
+
+Observability: ``join --trace PATH`` records a structured trace of the
+run (partition / probe / index / verify spans, including per-shard spans
+relayed from worker processes) and writes it as JSONL; ``stats
+--metrics`` (with a dataset file or ``--stream``) emits Prometheus text
+exposition instead of the human report.  See :mod:`repro.obs`.
 
 Streaming stdin format (``join --stream`` / ``stats --stream``)
 ---------------------------------------------------------------
@@ -57,6 +65,14 @@ from repro.errors import (
     ReproError,
     TreeFormatError,
 )
+from repro.obs.export import (
+    format_span_tree,
+    read_jsonl,
+    render_prometheus,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry, publish_stream_stats
+from repro.obs.trace import Tracer
 from repro.session import TreeCollection
 from repro.ted.api import TED_ALGORITHMS, ted
 from repro.tree.bracket import parse_bracket
@@ -104,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "format/library versions, sections and per-"
                             "section CRC status (exit 2 if any checksum "
                             "fails)")
+    stats.add_argument("--metrics", action="store_true",
+                       help="emit the statistics as Prometheus text "
+                            "exposition (version 0.0.4) instead of the "
+                            "human-readable report")
 
     join = commands.add_parser(
         "join", help="similarity self-join",
@@ -160,6 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: auto-discover <input>.repro-idx; a "
                            "corrupt or stale snapshot warns and rebuilds "
                            "cold — it never changes results)")
+    join.add_argument("--trace", metavar="PATH", default=None,
+                      help="write the run's spans as a JSONL trace to PATH "
+                           "(one JSON object per span; render it with the "
+                           "'trace' subcommand)")
     join.add_argument("--wal", metavar="PATH", default=None,
                       help="streaming: write every arrival to an append-only "
                            "write-ahead log before indexing it, so a crash "
@@ -192,6 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: auto-discover <input>.repro-idx; "
                              "corrupt or stale snapshots warn and rebuild "
                              "cold)")
+
+    trace_cmd = commands.add_parser(
+        "trace", help="render a saved JSONL trace as a span tree",
+        description="Pretty-print a trace written by join --trace PATH: "
+                    "spans are nested under their parents and shown with "
+                    "durations in milliseconds and their attributes.",
+    )
+    trace_cmd.add_argument("file", help="JSONL trace file (one span per line)")
 
     ted_cmd = commands.add_parser("ted", help="tree edit distance of two trees")
     ted_cmd.add_argument("tree1", help="bracket notation")
@@ -294,6 +326,11 @@ def _cmd_stats_stream(args: argparse.Namespace) -> int:
             join.add(tree)
         stats = join.stats()
         histogram = join.collection.size_histogram()
+    if args.metrics:
+        registry = MetricsRegistry()
+        publish_stream_stats(stats, registry=registry)
+        sys.stdout.write(render_prometheus(registry))
+        return 0
     print(
         f"streamed {stats.trees} trees at {stats.ingest_rate:.1f} trees/s "
         f"(tau={args.tau})"
@@ -365,6 +402,26 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "stats needs a dataset file (or --stream / --snapshot)"
         )
     collection = TreeCollection.from_file(args.input)
+    if args.metrics:
+        shape = collection_stats(collection.trees)
+        registry = MetricsRegistry()
+        labels = {"dataset": str(args.input)}
+        for name, help_text, value in (
+            ("repro_dataset_trees", "Trees in the dataset file", shape.count),
+            ("repro_dataset_size_min", "Smallest tree (nodes)",
+             shape.min_size),
+            ("repro_dataset_size_max", "Largest tree (nodes)",
+             shape.max_size),
+            ("repro_dataset_size_avg", "Average tree size (nodes)",
+             shape.average_size),
+            ("repro_dataset_labels", "Distinct node labels",
+             shape.distinct_labels),
+            ("repro_dataset_depth_max", "Maximum node depth (root = 0)",
+             shape.max_depth),
+        ):
+            registry.gauge(name, help_text, **labels).set(value)
+        sys.stdout.write(render_prometheus(registry))
+        return 0
     print(collection_stats(collection.trees).describe())
     histogram = collection.sorted.size_histogram()
     sizes = [size for size, _ in histogram]
@@ -406,10 +463,14 @@ def _cmd_join_stream(args: argparse.Namespace, tau: int) -> int:
             else:
                 print(f"{pair.i}\t{pair.j}\t{pair.distance}", flush=True)
 
+    tracer = Tracer() if args.trace else None
+
     if args.recover:
         # tau and filter config come from the log header (they shaped the
         # logged state); the CLI tau is cross-checked, not applied.
-        engine = StreamingJoin.recover(args.wal, workers=args.workers)
+        engine = StreamingJoin.recover(
+            args.wal, workers=args.workers, tracer=tracer
+        )
         if engine.tau != tau:
             engine.close()
             raise InvalidParameterError(
@@ -435,7 +496,8 @@ def _cmd_join_stream(args: argparse.Namespace, tau: int) -> int:
         emit(recovered_pairs)
     else:
         engine = StreamingJoin(
-            tau, config=config, workers=args.workers, wal=args.wal
+            tau, config=config, workers=args.workers, wal=args.wal,
+            tracer=tracer,
         )
 
     with engine as join:
@@ -463,6 +525,10 @@ def _cmd_join_stream(args: argparse.Namespace, tau: int) -> int:
             emit(join.add_many(batch))
         emit(join.flush())
         stats = join.stats()
+    if tracer is not None:
+        written = write_jsonl(tracer.finished(), args.trace)
+        print(f"# wrote {written} trace spans to {args.trace}",
+              file=sys.stderr)
     if args.json:
         print(json.dumps({"stats": stats.as_dict()}, sort_keys=True))
     else:
@@ -521,6 +587,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         options["config"] = PartSJConfig(
             semantics=args.semantics, postorder_filter=args.postorder_filter
         )
+    tracer = Tracer() if args.trace else None
     payloads = []
     for tau in taus:
         plan = collection.join(
@@ -530,7 +597,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
             explain = plan.explain()
             if not args.json:
                 print(f"# plan: {json.dumps(explain, sort_keys=True)}")
-        result = plan.run()
+        result = plan.run(trace=tracer)
         if args.json:
             payload = _join_payload(result, args.workers)
             if args.explain:
@@ -542,6 +609,10 @@ def _cmd_join(args: argparse.Namespace) -> int:
             for pair in result.pairs:
                 print(f"{pair.i}\t{pair.j}\t{pair.distance}")
     _save_session(collection, args)
+    if tracer is not None:
+        written = write_jsonl(tracer.finished(), args.trace)
+        print(f"# wrote {written} trace spans to {args.trace}",
+              file=sys.stderr)
     if args.json:
         # Single-tau invocations keep the historical payload shape; a
         # multi-tau session wraps the per-tau payloads in "queries".
@@ -572,6 +643,23 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        spans = read_jsonl(args.file)
+    except OSError as exc:
+        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(format_span_tree(spans))
+    except ValueError as exc:  # orphan cycles in a hand-edited file
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_ted(args: argparse.Namespace) -> int:
     distance = ted(
         parse_bracket(args.tree1), parse_bracket(args.tree2),
@@ -597,6 +685,7 @@ _HANDLERS = {
     "stats": _cmd_stats,
     "join": _cmd_join,
     "search": _cmd_search,
+    "trace": _cmd_trace,
     "ted": _cmd_ted,
     "experiment": _cmd_experiment,
 }

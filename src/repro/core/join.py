@@ -69,7 +69,6 @@ should be swept at a fixed worker count.
 from __future__ import annotations
 
 import random
-import time
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -93,6 +92,7 @@ from repro.core.partition import (
 from repro.core.subgraph import MatchSemantics
 from repro.core.treecache import TreeCache
 from repro.errors import InvalidParameterError
+from repro.obs.trace import NULL_TRACER, phase_timer
 from repro.params import check_workers
 from repro.resilience.faults import FaultInjector
 from repro.resilience.policy import RetryPolicy
@@ -349,35 +349,35 @@ class ShardDriver:
         tau = self.tau
         counters = self.counters
         checked = self.checked
-        start = time.perf_counter()
         candidates: list[int] = []
 
-        if n >= self.min_size:
-            cache = self._cache_for(i)
-            _probe_index(
-                self.index, cache, i, n, tau, self.min_size, self.semantics,
-                checked, candidates, counters, self.numbering,
-            )
-        else:
-            cache = None
-            counters.small_trees += 1
+        with phase_timer(self, "probe_time"):
+            if n >= self.min_size:
+                cache = self._cache_for(i)
+                _probe_index(
+                    self.index, cache, i, n, tau, self.min_size,
+                    self.semantics, checked, candidates, counters,
+                    self.numbering,
+                )
+            else:
+                cache = None
+                counters.small_trees += 1
 
-        # Small-pool partners: only relevant while |Ti| - tau can reach the
-        # pool's size range [1, 2*tau].  The upper guard is vacuous in a
-        # batch run (ascending order means pool trees are never larger)
-        # but keeps the scan exact when the streaming engine feeds trees
-        # out of size order.
-        if self.small_pool and n - tau <= 2 * tau:
-            for j, size_j in self.small_pool:
-                if n - tau <= size_j <= n + tau:
-                    key = (j, i) if j < i else (i, j)
-                    if key not in checked:
-                        checked.add(key)
-                        counters.small_pool_pairs += 1
-                        candidates.append(j)
-        self._probed_index = i
-        self._probed_cache = cache
-        self.probe_time += time.perf_counter() - start
+            # Small-pool partners: only relevant while |Ti| - tau can reach
+            # the pool's size range [1, 2*tau].  The upper guard is vacuous
+            # in a batch run (ascending order means pool trees are never
+            # larger) but keeps the scan exact when the streaming engine
+            # feeds trees out of size order.
+            if self.small_pool and n - tau <= 2 * tau:
+                for j, size_j in self.small_pool:
+                    if n - tau <= size_j <= n + tau:
+                        key = (j, i) if j < i else (i, j)
+                        if key not in checked:
+                            checked.add(key)
+                            counters.small_pool_pairs += 1
+                            candidates.append(j)
+            self._probed_index = i
+            self._probed_cache = cache
         return candidates
 
     def insert(self, i: int) -> Optional[list]:
@@ -394,19 +394,18 @@ class ShardDriver:
                 f"insert({i}) must follow probe({i}); last probed: "
                 f"{self._probed_index}"
             )
-        start = time.perf_counter()
-        cache = self._probed_cache
-        if cache is not None:
-            subgraphs = self._partition(cache, i, owned=True)
-            self.index.insert_all(self.trees[i].size, subgraphs)
-            self.counters.partitioned_trees += 1
-            self.counters.subgraphs_built += len(subgraphs)
-        else:
-            subgraphs = None
-            self.small_pool.append((i, self.trees[i].size))
-        self._probed_index = None
-        self._probed_cache = None
-        self.index_time += time.perf_counter() - start
+        with phase_timer(self, "index_time"):
+            cache = self._probed_cache
+            if cache is not None:
+                subgraphs = self._partition(cache, i, owned=True)
+                self.index.insert_all(self.trees[i].size, subgraphs)
+                self.counters.partitioned_trees += 1
+                self.counters.subgraphs_built += len(subgraphs)
+            else:
+                subgraphs = None
+                self.small_pool.append((i, self.trees[i].size))
+            self._probed_index = None
+            self._probed_cache = None
         return subgraphs
 
     def ingest(self, i: int) -> tuple[list[int], Optional[list]]:
@@ -435,16 +434,15 @@ class ShardDriver:
         """
         tree = self.trees[i]
         n = tree.size
-        start = time.perf_counter()
-        if n >= self.min_size:
-            cache = self._cache_for(i)
-            subgraphs = self._partition(cache, i, owned=False)
-            self.index.insert_all(n, subgraphs)
-            self.counters.band_subgraphs += len(subgraphs)
-        else:
-            self.small_pool.append((i, n))
-        self.counters.band_trees += 1
-        self.band_time += time.perf_counter() - start
+        with phase_timer(self, "band_time"):
+            if n >= self.min_size:
+                cache = self._cache_for(i)
+                subgraphs = self._partition(cache, i, owned=False)
+                self.index.insert_all(n, subgraphs)
+                self.counters.band_subgraphs += len(subgraphs)
+            else:
+                self.small_pool.append((i, n))
+            self.counters.band_trees += 1
 
     def _cache_for(self, i: int) -> TreeCache:
         """Tree ``i``'s flat-array cache, shared with the session if any."""
@@ -490,6 +488,7 @@ def partsj_join(
     *,
     prepared: Optional[PreparedJoinState] = None,
     verifier: Optional[Verifier] = None,
+    tracer=None,
 ) -> JoinResult:
     """The PartSJ similarity self-join (``PRT`` in the paper's figures).
 
@@ -511,6 +510,14 @@ def partsj_join(
     verifier:
         A pre-built verification engine (sessions pass one whose per-tree
         annotation and feature caches are shared across queries).
+    tracer:
+        A :class:`repro.obs.Tracer` to record phase spans on (``None``
+        disables tracing at zero cost).  Tracing is coarse-grained —
+        one ``partsj.loop`` span around the probe/insert/verify loop,
+        plus synthetic ``partsj.probe`` / ``partsj.index`` /
+        ``partsj.verify`` spans carrying the driver's and verifier's
+        accumulated phase attribution — and never changes results,
+        counters or timings recorded in ``JoinStats``.
 
     >>> a = Tree.from_bracket("{a{b}{c{d}{e}}{f}}")
     >>> b = Tree.from_bracket("{a{b}{c{d}{e}}{g}}")
@@ -519,10 +526,13 @@ def partsj_join(
     """
     check_join_inputs(trees, tau)
     cfg = (config or PartSJConfig()).resolved()
+    tracer = tracer if tracer is not None else NULL_TRACER
     if cfg.workers > 1:
         from repro.parallel.executor import parallel_partsj_join
 
-        return parallel_partsj_join(trees, tau, cfg, prepared=prepared)
+        return parallel_partsj_join(
+            trees, tau, cfg, prepared=prepared, tracer=tracer
+        )
 
     stats = JoinStats(method="PRT", tau=tau, tree_count=len(trees))
     collection = (
@@ -534,18 +544,29 @@ def partsj_join(
     driver = ShardDriver(trees, tau, cfg, prepared=prepared)
     pairs: list[JoinPair] = []
 
-    for position in range(len(collection)):
-        i = collection.original_index(position)
-        # Probe + insert through the shared incremental entry point.
-        candidates, _ = driver.ingest(i)
+    with tracer.span("partsj.loop", tau=tau, trees=len(trees)) as sp:
+        for position in range(len(collection)):
+            i = collection.original_index(position)
+            # Probe + insert through the shared incremental entry point.
+            candidates, _ = driver.ingest(i)
 
-        # Verification (the "TED computation" phase of Figures 10/12/14).
-        stats.candidates += len(candidates)
-        for j in candidates:
-            distance = verifier.verify(i, j)
-            if distance is not None:
-                lo, hi = (i, j) if i < j else (j, i)
-                pairs.append(JoinPair(lo, hi, distance))
+            # Verification (the "TED computation" phase of Figures
+            # 10/12/14).
+            stats.candidates += len(candidates)
+            for j in candidates:
+                distance = verifier.verify(i, j)
+                if distance is not None:
+                    lo, hi = (i, j) if i < j else (j, i)
+                    pairs.append(JoinPair(lo, hi, distance))
+        sp.set("candidates", stats.candidates)
+    # Phase attribution the driver accumulates anyway, as synthetic
+    # spans — zero cost in the per-tree loop.
+    tracer.record("partsj.probe", driver.probe_time,
+                  probe_hits=driver.counters.probe_hits)
+    tracer.record("partsj.index", driver.index_time,
+                  subgraphs=driver.counters.subgraphs_built)
+    tracer.record("partsj.verify", verifier.stats_time,
+                  ted_calls=verifier.stats_ted_calls)
 
     stats.probe_time = driver.probe_time
     stats.index_time = driver.index_time

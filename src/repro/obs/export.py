@@ -1,0 +1,213 @@
+"""Exporters: JSONL traces, Prometheus text exposition, span-tree rendering.
+
+Three output formats, all dependency-free:
+
+- :func:`write_jsonl` / :func:`read_jsonl` — one span object per line
+  (the ``join --trace FILE`` artifact).  Each line is the
+  :meth:`repro.obs.trace.Span.to_dict` shape::
+
+      {"trace_id": "...", "span_id": "...", "parent_id": "..."|null,
+       "name": "...", "start": <perf_counter>, "duration": <seconds>,
+       "attrs": {...}}
+
+  ``start`` offsets are per-process monotonic readings; spans relayed
+  from worker processes carry ``attrs.pid`` and are only
+  duration-comparable, not offset-comparable, with coordinator spans.
+- :func:`render_prometheus` — the text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``name{labels} value`` samples,
+  histograms as ``_bucket``/``_sum``/``_count`` with an ``+Inf``
+  bucket).  This is the ``stats --metrics`` payload.
+- :func:`format_span_tree` — a human-readable indented tree with
+  durations and attributes (the ``trace`` CLI subcommand).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "render_prometheus",
+    "format_span_tree",
+    "span_roots",
+]
+
+
+def _as_dict(span) -> dict:
+    return span.to_dict() if isinstance(span, Span) else dict(span)
+
+
+def write_jsonl(spans: Iterable[Union[Span, dict]],
+                path: Union[str, Path]) -> int:
+    """Write spans (``Span`` objects or dicts) as JSON Lines.
+
+    Returns the number of spans written.  Lines are sorted by recorded
+    ``start`` within each process id so a streamed reader sees a
+    roughly chronological file, but readers must not rely on order —
+    parentage is explicit in every line.
+    """
+    rows = [_as_dict(span) for span in spans]
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)
+
+
+def read_jsonl(path: Union[str, Path]) -> list[dict]:
+    """Parse a JSONL trace back into span dicts (blank lines skipped)."""
+    spans = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: not a JSON span line: {exc}"
+                ) from None
+            if not isinstance(row, dict) or "span_id" not in row:
+                raise ValueError(
+                    f"{path}:{line_no}: span object missing 'span_id'"
+                )
+            spans.append(row)
+    return spans
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _render_labels(pairs: Sequence[tuple]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value == int(value) \
+            and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, inst in sorted(family.series.items()):
+            if family.kind == "histogram":
+                cumulative = inst.cumulative()
+                for bound, count in zip(inst.buckets, cumulative):
+                    labels = _render_labels(
+                        list(key) + [("le", _format_value(float(bound)))]
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{labels} {count}"
+                    )
+                inf_labels = _render_labels(list(key) + [("le", "+Inf")])
+                lines.append(f"{family.name}_bucket{inf_labels} "
+                             f"{cumulative[-1]}")
+                lines.append(f"{family.name}_sum{_render_labels(key)} "
+                             f"{_format_value(inst.sum)}")
+                lines.append(f"{family.name}_count{_render_labels(key)} "
+                             f"{inst.count}")
+            else:
+                lines.append(
+                    f"{family.name}{_render_labels(key)} "
+                    f"{_format_value(inst.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- human-readable span tree ------------------------------------------------
+
+def span_roots(spans: Iterable[Union[Span, dict]]) -> tuple[list, dict]:
+    """``(roots, children)`` of the span forest.
+
+    ``children`` maps ``span_id`` to child span dicts; a span whose
+    ``parent_id`` is unknown (or ``None``) is a root.  Raises
+    ``ValueError`` on a parent cycle.
+    """
+    rows = [_as_dict(span) for span in spans]
+    by_id = {row["span_id"]: row for row in rows}
+    children: dict[Optional[str], list] = {}
+    roots = []
+    for row in rows:
+        parent = row.get("parent_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(row)
+        else:
+            roots.append(row)
+    # Cycle check: walking every edge must visit every span exactly once.
+    seen = 0
+    stack = list(roots)
+    while stack:
+        row = stack.pop()
+        seen += 1
+        if seen > len(rows):
+            raise ValueError("span parent ids contain a cycle")
+        stack.extend(children.get(row["span_id"], ()))
+    if seen != len(rows):
+        raise ValueError("span parent ids contain a cycle")
+    return roots, children
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return f"  [{inner}]"
+
+
+def format_span_tree(spans: Iterable[Union[Span, dict]]) -> str:
+    """An indented, duration-annotated rendering of the span forest."""
+    roots, children = span_roots(spans)
+    if not roots:
+        return "(empty trace)"
+    lines = []
+
+    def order_key(row):
+        start = row.get("start")
+        return (0, start) if isinstance(start, (int, float)) else (1, 0)
+
+    def walk(row, depth):
+        duration = row.get("duration")
+        dur = f"{duration * 1e3:10.3f} ms" if duration is not None else \
+            "      open   "
+        lines.append(
+            f"{dur}  {'  ' * depth}{row['name']}"
+            f"{_format_attrs(row.get('attrs') or {})}"
+        )
+        for child in sorted(children.get(row["span_id"], ()), key=order_key):
+            walk(child, depth + 1)
+
+    trace_ids = {row.get("trace_id") for row in roots}
+    header = ", ".join(sorted(str(t) for t in trace_ids if t))
+    if header:
+        lines.append(f"trace {header}")
+    for root in sorted(roots, key=order_key):
+        walk(root, 0)
+    return "\n".join(lines)

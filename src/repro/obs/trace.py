@@ -1,0 +1,301 @@
+"""Zero-dependency span tracing on monotonic clocks.
+
+A :class:`Tracer` records a tree of :class:`Span`\\ s for one query: each
+``with tracer.span("name"):`` block captures a ``time.perf_counter``
+interval, its parent (the innermost open span on this tracer), and a
+dict of JSON-safe attributes.  Two properties keep the engine's hot
+paths honest:
+
+- **Disabled is free.**  :data:`NULL_TRACER` is a singleton whose
+  ``span()`` returns one pre-allocated no-op context manager — no
+  allocation, no clock read, no branch in the instrumented code beyond
+  the call itself.  Every instrumented function defaults to it, so an
+  untraced join runs the exact same statements as before PR 8.
+- **Coarse-grained by construction.**  Instrumentation sits at phase /
+  shard / chunk / flush granularity, never per tree or per candidate;
+  the per-tree phase attribution the engine already accumulates
+  (``probe_time`` / ``index_time`` / ``band_time``) is turned into
+  *synthetic* spans after the fact via :meth:`Tracer.record`.  A traced
+  join over N trees emits O(shards + chunks) spans, not O(N).
+
+Worker processes cannot share the coordinator's tracer, so worker-side
+code builds plain span *dicts* (:func:`span_dict`) and ships them back
+inside the CRC'd result envelopes the resilience layer already uses;
+the coordinator re-roots them under its own span tree with
+:meth:`Tracer.graft`.  Worker clocks are their own ``perf_counter``
+domains — relayed spans keep correct durations and ancestry, while
+their absolute ``start`` offsets are only comparable within one
+process (exporters carry the ``pid`` attribute so readers can tell).
+
+Phase-timer helper
+------------------
+:func:`phase_timer` is the single source of truth for the
+``start = perf_counter(); ...; obj.attr += perf_counter() - start``
+pattern that used to be copy-pasted through ``core/join.py`` and every
+baseline: ``with phase_timer(obj, "probe_time"): ...`` accumulates the
+elapsed interval into ``obj.probe_time`` (works on objects and on
+mutable dataclass instances alike).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from typing import Iterable, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "new_trace_id",
+    "span_dict",
+    "phase_timer",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (random, collision-negligible)."""
+    return os.urandom(8).hex()
+
+
+class Span:
+    """One finished-or-open interval in a trace.
+
+    ``start`` is a ``time.perf_counter`` reading — monotonic within the
+    recording process, meaningless across processes.  ``duration`` is
+    ``None`` while the span is open.
+    """
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id",
+        "start", "duration", "attrs", "_tracer",
+    )
+
+    def __init__(self, name, trace_id, span_id, parent_id,
+                 start=None, duration=None, attrs=None, _tracer=None):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.duration = duration
+        self.attrs = attrs if attrs is not None else {}
+        self._tracer = _tracer
+
+    def set(self, key: str, value) -> None:
+        """Attach a JSON-safe attribute to this span."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        if self._tracer is not None:
+            self._tracer._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.start
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        if self._tracer is not None:
+            tracer = self._tracer
+            if tracer._stack and tracer._stack[-1] is self:
+                tracer._stack.pop()
+            tracer.spans.append(self)
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dur = f"{self.duration:.6f}s" if self.duration is not None else "open"
+        return f"Span({self.name!r}, {dur}, id={self.span_id})"
+
+
+def span_dict(name: str, start: float, duration: float,
+              span_id: str, parent_id: Optional[str] = None,
+              **attrs) -> dict:
+    """A plain span mapping for code with no tracer (worker processes).
+
+    The dict shape matches :meth:`Span.to_dict` minus ``trace_id``
+    (assigned by :meth:`Tracer.graft` on the coordinator).  ``pid`` is
+    stamped automatically so exported traces show which clock domain
+    the offsets belong to.
+    """
+    attrs.setdefault("pid", os.getpid())
+    return {
+        "trace_id": None,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "start": start,
+        "duration": duration,
+        "attrs": attrs,
+    }
+
+
+class Tracer:
+    """Records one query's span tree.
+
+    ``spans`` holds finished spans in completion order; ``graft()``
+    splices in relayed worker span dicts.  Not thread-safe — one tracer
+    belongs to one query on one thread (worker processes relay dicts
+    instead of sharing the tracer).
+    """
+
+    enabled = True
+
+    def __init__(self, trace_id: Optional[str] = None):
+        self.trace_id = trace_id or new_trace_id()
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+        self._pid = os.getpid()
+
+    # -- recording --------------------------------------------------------
+
+    def _next_id(self) -> str:
+        return f"{self._pid:x}-{next(self._ids)}"
+
+    @property
+    def current_span_id(self) -> Optional[str]:
+        return self._stack[-1].span_id if self._stack else None
+
+    def span(self, name: str, **attrs) -> Span:
+        """A context manager recording one interval under the open span."""
+        return Span(
+            name, self.trace_id, self._next_id(), self.current_span_id,
+            attrs=dict(attrs) if attrs else {}, _tracer=self,
+        )
+
+    def record(self, name: str, duration: float,
+               start: Optional[float] = None, **attrs) -> Span:
+        """Append an already-measured interval as a synthetic span.
+
+        This is how per-phase attribution the engine accumulates anyway
+        (``probe_time`` etc.) becomes spans without touching hot loops.
+        """
+        span = Span(
+            name, self.trace_id, self._next_id(), self.current_span_id,
+            start=start, duration=duration,
+            attrs=dict(attrs) if attrs else {},
+        )
+        self.spans.append(span)
+        return span
+
+    def graft(self, spans: Iterable[dict],
+              parent_id: Optional[str] = None) -> int:
+        """Splice relayed worker span dicts into this trace.
+
+        Spans arriving without a parent (roots of the worker-side
+        forest) are re-rooted under ``parent_id`` (default: the
+        innermost open span); every span adopts this trace's id.
+        Returns the number of spans grafted.
+        """
+        anchor = parent_id if parent_id is not None else self.current_span_id
+        count = 0
+        for raw in spans:
+            span = Span(
+                raw["name"], self.trace_id, raw["span_id"],
+                raw.get("parent_id") or anchor,
+                start=raw.get("start"), duration=raw.get("duration"),
+                attrs=dict(raw.get("attrs") or {}),
+            )
+            self.spans.append(span)
+            count += 1
+        return count
+
+    # -- inspection -------------------------------------------------------
+
+    def finished(self) -> list[Span]:
+        """Finished spans, completion order (parents after children)."""
+        return list(self.spans)
+
+    def to_dicts(self) -> list[dict]:
+        return [span.to_dict() for span in self.spans]
+
+
+class _NullSpan:
+    """The do-nothing span: one shared instance, no clock, no state."""
+
+    __slots__ = ()
+
+    def set(self, key, value):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: every operation is a no-op returning constants."""
+
+    enabled = False
+    trace_id = None
+    spans: list = []
+
+    def span(self, name, **attrs):
+        return _NULL_SPAN
+
+    def record(self, name, duration, start=None, **attrs):
+        return _NULL_SPAN
+
+    def graft(self, spans, parent_id=None):
+        return 0
+
+    @property
+    def current_span_id(self):
+        return None
+
+    def finished(self):
+        return []
+
+    def to_dicts(self):
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class _PhaseTimer:
+    """``with phase_timer(obj, attr):`` — accumulate elapsed into an attr."""
+
+    __slots__ = ("_obj", "_attr", "_start")
+
+    def __init__(self, obj, attr):
+        self._obj = obj
+        self._attr = attr
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        elapsed = time.perf_counter() - self._start
+        setattr(self._obj, self._attr, getattr(self._obj, self._attr) + elapsed)
+        return False
+
+
+def phase_timer(obj, attr: str) -> _PhaseTimer:
+    """Accumulate a ``perf_counter`` interval into ``obj.<attr>``.
+
+    The one shared implementation of the engine's phase-attribution
+    pattern; replaces hand-rolled ``start = perf_counter()`` blocks in
+    the PartSJ driver and every baseline.
+    """
+    return _PhaseTimer(obj, attr)

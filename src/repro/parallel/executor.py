@@ -53,6 +53,7 @@ from repro.baselines.common import (
     check_join_inputs,
 )
 from repro.core.join import PartSJConfig, partsj_join
+from repro.obs.trace import NULL_TRACER
 from repro.parallel.sharding import ShardResult, plan_shards
 from repro.parallel.verify_pool import parallel_verify
 from repro.parallel.worker import execute_shard, init_worker, run_shard_task
@@ -64,7 +65,8 @@ from repro.resilience import (
 )
 from repro.tree.node import Tree
 
-__all__ = ["open_pool", "parallel_partsj_join", "pool_context"]
+__all__ = ["merge_counters", "open_pool", "parallel_partsj_join",
+           "pool_context"]
 
 # Explicit start method rather than the platform default: "fork" where
 # the platform offers it (cheap startup; our initargs — bracket strings
@@ -80,20 +82,22 @@ def pool_context():
     """The multiprocessing context every repro pool is created from."""
     return multiprocessing.get_context(_START_METHOD)
 
-# Counter keys of _ProbeCounters.as_dict() summed across shards.
-_COUNTER_KEYS = (
-    "probe_hits",
-    "match_tests",
-    "match_hits",
-    "dedup_skips",
-    "small_pool_pairs",
-    "partitioned_trees",
-    "small_trees",
-    "subgraphs_built",
-    "gamma_total",
-    "band_trees",
-    "band_subgraphs",
-)
+def merge_counters(shard_results: Sequence[ShardResult]) -> dict:
+    """Sum the shards' integer-valued counters, generically over keys.
+
+    Every key of every shard's counter dict whose value is an ``int``
+    (``bool`` excluded) is summed — a counter introduced by a worker
+    build merges without an executor edit, and a key only some shards
+    report still sums correctly.  Non-integer values are skipped (they
+    have no meaningful cross-shard sum).
+    """
+    merged: dict[str, int] = {}
+    for result in shard_results:
+        for key, value in result.counters.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            merged[key] = merged.get(key, 0) + value
+    return merged
 
 
 def _create_pool(
@@ -162,6 +166,7 @@ def parallel_partsj_join(
     config: Optional[PartSJConfig] = None,
     *,
     prepared=None,
+    tracer=None,
 ) -> JoinResult:
     """PartSJ over ``config.workers`` processes; serial-identical results.
 
@@ -169,13 +174,22 @@ def parallel_partsj_join(
     session reuse its size-sorted view for shard planning and keeps the
     serial fallbacks warm; the per-shard caches and partitions stay
     process-local — they cannot cross the pool boundary.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`; ``None`` disables) records a
+    ``parallel.candidates`` span over the shard stage with each shard's
+    relayed worker spans grafted under it, and hands itself to
+    :func:`~repro.parallel.verify_pool.parallel_verify` for the
+    verification stage.  Tracing never changes pairs, distances or any
+    ``JoinStats`` field.
     """
     check_join_inputs(trees, tau)
     cfg = (config or PartSJConfig()).resolved()
+    tracer = tracer if tracer is not None else NULL_TRACER
     workers = cfg.workers
     serial_cfg = replace(cfg, workers=1)
     if workers <= 1 or len(trees) < 2:
-        return partsj_join(trees, tau, serial_cfg, prepared=prepared)
+        return partsj_join(trees, tau, serial_cfg, prepared=prepared,
+                           tracer=tracer)
 
     plan_start = time.perf_counter()
     collection = (
@@ -185,7 +199,9 @@ def parallel_partsj_join(
     plans = plan_shards(collection, tau, workers)
     plan_time = time.perf_counter() - plan_start
     if len(plans) <= 1:
-        return partsj_join(trees, tau, serial_cfg, prepared=prepared)
+        return partsj_join(trees, tau, serial_cfg, prepared=prepared,
+                           tracer=tracer)
+    tracer.record("parallel.plan", plan_time, shards=len(plans))
 
     policy = (cfg.retry or RetryPolicy()).validated()
     injector = (
@@ -200,23 +216,27 @@ def parallel_partsj_join(
     )
     with supervisor:
         stage_start = time.perf_counter()
-        shard_results: list[ShardResult] = supervisor.run(
-            run_shard_task,
-            [(f"shard:{plan.shard_id}", plan) for plan in plans],
-            # Degradation fallback: the same pure shard computation, in
-            # this process over the real trees (no fault injection).
-            lambda plan: execute_shard(trees, tau, serial_cfg, plan),
-        )
-        candidate_pairs = _merge_candidates(shard_results)
+        with tracer.span("parallel.candidates", workers=workers,
+                         shards=len(plans)) as stage_span:
+            shard_results: list[ShardResult] = supervisor.run(
+                run_shard_task,
+                [(f"shard:{plan.shard_id}", plan) for plan in plans],
+                # Degradation fallback: the same pure shard computation, in
+                # this process over the real trees (no fault injection).
+                lambda plan: execute_shard(trees, tau, serial_cfg, plan),
+            )
+            candidate_pairs = _merge_candidates(shard_results)
+            stage_span.set("candidates", len(candidate_pairs))
+            if tracer.enabled:
+                for result in shard_results:
+                    tracer.graft(result.spans)
         candidate_wall = time.perf_counter() - stage_start
         pairs, verify_stats = parallel_verify(
-            trees, tau, candidate_pairs, workers, supervisor=supervisor
+            trees, tau, candidate_pairs, workers, supervisor=supervisor,
+            tracer=tracer,
         )
 
-    counters = {key: 0 for key in _COUNTER_KEYS}
-    for result in shard_results:
-        for key in _COUNTER_KEYS:
-            counters[key] += result.counters[key]
+    counters = merge_counters(shard_results)
     stats.candidates = len(candidate_pairs)
     stats.probe_time = sum(r.probe_time for r in shard_results)
     stats.index_time = sum(r.index_time + r.band_time for r in shard_results)

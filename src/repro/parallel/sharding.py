@@ -106,7 +106,15 @@ class ShardResult:
     CPU seconds.  ``counters`` is the shard's
     ``_ProbeCounters.as_dict()`` — owned-tree counters sum to the exact
     serial values across shards, band counters measure the sharding
-    overhead.
+    overhead.  The executor merges the counter dict *generically* (every
+    integer-valued key is summed), so a worker may add counters without
+    an executor release in lockstep.
+
+    ``spans`` relays the shard's observability spans
+    (:func:`repro.obs.trace.span_dict` mappings) back through the CRC'd
+    result envelope; the coordinator grafts them into its trace when
+    tracing is enabled and drops them otherwise.  They never feed any
+    ``JoinStats`` field, so results stay bit-identical either way.
     """
 
     shard_id: int
@@ -122,6 +130,7 @@ class ShardResult:
     band_count: int
     lo: int
     hi: int
+    spans: list = field(default_factory=list)
 
     def timing_summary(self) -> dict:
         """Per-shard timing dict surfaced in ``JoinStats.extra['shards']``."""

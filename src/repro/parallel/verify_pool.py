@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 from repro.baselines.common import JoinPair, Verifier
 from repro.errors import InvalidParameterError
+from repro.obs.trace import NULL_TRACER
 from repro.parallel import worker as _worker
 from repro.resilience import (
     FaultInjector,
@@ -113,6 +114,23 @@ def _merge_chunk_results(
     return pairs, stats
 
 
+def _graft_chunk_spans(tracer, outcomes) -> None:
+    """Graft worker-relayed chunk spans (``delta["spans"]``) into a trace.
+
+    No-op with tracing off; the spans never feed the stat merge either
+    way (``_merge_chunk_results`` only reads the fixed counter keys).
+    """
+    if not tracer.enabled:
+        return
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        _, delta = outcome
+        spans = delta.get("spans")
+        if spans:
+            tracer.graft(spans)
+
+
 def parallel_verify(
     trees: Sequence[Tree],
     tau: int,
@@ -121,6 +139,7 @@ def parallel_verify(
     options: Optional[dict] = None,
     pool=None,
     supervisor: Optional[PoolSupervisor] = None,
+    tracer=None,
 ) -> tuple[list[JoinPair], dict]:
     """Verify candidate ``(i, j)`` pairs across worker processes.
 
@@ -155,7 +174,12 @@ def parallel_verify(
     stats dict (``ted_calls`` / ``verify_time`` / ``lb_filtered`` /
     ``ub_accepted`` / ``ted_early_exits`` / ``verify_chunks`` /
     ``verify_wall_time``).
+
+    ``tracer`` (``None`` disables) records one ``verify.parallel`` span
+    over the stage and grafts the worker-relayed per-chunk spans under
+    it; pairs, distances and the stats dict are identical either way.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     started = time.perf_counter()
     # Canonicalize: one orientation per pair, deterministic chunk layout
     # regardless of how many shards (or which method) produced the list.
@@ -165,12 +189,14 @@ def parallel_verify(
 
     if workers <= 1 and pool is None and supervisor is None:
         # Serial fallback: same engine, in-process, no bracket round-trip.
-        verifier = Verifier(trees, tau, **(options or {}))
-        accepted = []
-        for i, j in ordered:
-            distance = verifier.verify(i, j)
-            if distance is not None:
-                accepted.append((i, j, distance))
+        with tracer.span("verify.parallel", workers=1,
+                         pairs=len(ordered)):
+            verifier = Verifier(trees, tau, **(options or {}))
+            accepted = []
+            for i, j in ordered:
+                distance = verifier.verify(i, j)
+                if distance is not None:
+                    accepted.append((i, j, distance))
         outcome = (accepted, {"verify_time": verifier.stats_time,
                               "ted_calls": verifier.stats_ted_calls,
                               **verifier.extra_stats()})
@@ -178,7 +204,10 @@ def parallel_verify(
 
     chunks = chunk_pairs(ordered, workers)
     if pool is not None:
-        outcomes = pool.map(_worker.verify_chunk, chunks)
+        with tracer.span("verify.parallel", workers=workers,
+                         pairs=len(ordered), chunks=len(chunks)):
+            outcomes = pool.map(_worker.verify_chunk, chunks)
+            _graft_chunk_spans(tracer, outcomes)
         return _merge_chunk_results(
             outcomes, len(chunks), time.perf_counter() - started
         )
@@ -193,7 +222,12 @@ def parallel_verify(
 
     tasks = [(f"verify:{k}", chunk) for k, chunk in enumerate(chunks)]
     if supervisor is not None:
-        outcomes = supervisor.run(_worker.verify_chunk_task, tasks, inline_chunk)
+        with tracer.span("verify.parallel", workers=workers,
+                         pairs=len(ordered), chunks=len(chunks)):
+            outcomes = supervisor.run(
+                _worker.verify_chunk_task, tasks, inline_chunk
+            )
+            _graft_chunk_spans(tracer, outcomes)
         pairs_out, stats = _merge_chunk_results(
             outcomes, len(chunks), time.perf_counter() - started
         )
@@ -206,7 +240,12 @@ def parallel_verify(
         lambda: _create_pool(brackets, tau, workers, None, options, injector),
     )
     with owned:
-        outcomes = owned.run(_worker.verify_chunk_task, tasks, inline_chunk)
+        with tracer.span("verify.parallel", workers=workers,
+                         pairs=len(ordered), chunks=len(chunks)):
+            outcomes = owned.run(
+                _worker.verify_chunk_task, tasks, inline_chunk
+            )
+            _graft_chunk_spans(tracer, outcomes)
     pairs_out, stats = _merge_chunk_results(
         outcomes, len(chunks), time.perf_counter() - started
     )
@@ -255,11 +294,13 @@ class StreamVerifyPool:
         options: Optional[dict] = None,
         policy: Optional[RetryPolicy] = None,
         injector: Optional[FaultInjector] = None,
+        tracer=None,
     ):
         if workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
         self.tau = tau
         self.workers = workers
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._options = options
         self.policy = (policy or RetryPolicy()).validated()
         self._injector = (
@@ -355,6 +396,8 @@ class StreamVerifyPool:
         for key in ("ted_calls", "lb_filtered", "ub_accepted", "ted_early_exits"):
             self._stats[key] += delta[key]
         self._stats["verify_time"] += delta["verify_time"]
+        if self._tracer.enabled and delta.get("spans"):
+            self._tracer.graft(delta["spans"])
         self._chunks += 1
         return accepted
 

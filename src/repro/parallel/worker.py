@@ -17,12 +17,15 @@ chunks exactly as they do across candidates in a serial run.
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
 from collections.abc import Sequence
 from typing import Optional
 
 from repro.baselines.common import Verifier
 from repro.core.join import PartSJConfig, ShardDriver
+from repro.obs.trace import span_dict
 from repro.parallel.sharding import ShardPlan, ShardResult
 from repro.resilience.faults import FaultInjector, corrupt_envelope, seal
 from repro.tree.bracket import parse_bracket
@@ -41,6 +44,17 @@ __all__ = [
     "verify_stream_chunk",
     "verify_stream_chunk_task",
 ]
+
+
+# Worker-side span ids: unique per (process, counter).  Span capture is
+# unconditional — a handful of dicts per shard/chunk, relayed inside the
+# sealed result envelope — and the coordinator drops them when tracing
+# is off, so no trace flag needs to cross the pool boundary.
+_SPAN_SEQ = itertools.count(1)
+
+
+def _span_id(prefix: str) -> str:
+    return f"{prefix}-{os.getpid():x}-{next(_SPAN_SEQ)}"
 
 
 class LazyTreeList(Sequence):
@@ -143,6 +157,26 @@ def execute_shard(
         found, _ = driver.ingest(i)
         for j in found:
             candidates.append((i, j))
+    wall_time = time.perf_counter() - started
+    # Observability relay: one shard span plus its phase attribution,
+    # shipped back through the sealed envelope (see ShardResult.spans).
+    shard_span = _span_id(f"shard{plan.shard_id}")
+    spans = [
+        span_dict(
+            f"shard:{plan.shard_id}", started, wall_time, shard_span,
+            owned=len(plan.owned), band=len(plan.band),
+            candidates=len(candidates),
+        ),
+        span_dict("partsj.band", started, driver.band_time,
+                  _span_id("band"), parent_id=shard_span,
+                  band_trees=driver.counters.band_trees),
+        span_dict("partsj.probe", started, driver.probe_time,
+                  _span_id("probe"), parent_id=shard_span,
+                  probe_hits=driver.counters.probe_hits),
+        span_dict("partsj.index", started, driver.index_time,
+                  _span_id("index"), parent_id=shard_span,
+                  subgraphs=driver.counters.subgraphs_built),
+    ]
     return ShardResult(
         shard_id=plan.shard_id,
         candidates=candidates,
@@ -150,13 +184,14 @@ def execute_shard(
         probe_time=driver.probe_time,
         index_time=driver.index_time,
         band_time=driver.band_time,
-        wall_time=time.perf_counter() - started,
+        wall_time=wall_time,
         indexed_subgraphs=driver.index.total_subgraphs,
         index_entries=driver.index.total_entries,
         owned_count=len(plan.owned),
         band_count=len(plan.band),
         lo=plan.lo,
         hi=plan.hi,
+        spans=spans,
     )
 
 
@@ -223,10 +258,20 @@ def verify_chunk(
     Returns the accepted ``(i, j, distance)`` triples (``i < j``) and the
     chunk's verification-stat deltas; per-pair outcomes are independent of
     batching, so any chunking of the same pair set merges to identical
-    totals.
+    totals.  The delta additionally carries this chunk's observability
+    span under ``"spans"`` — relayed through the sealed envelope, grafted
+    by the coordinator when tracing is on, ignored by the stat merge
+    either way (it never reaches ``JoinStats``).
     """
     state = _require_state()
-    return verify_pairs(state.verifier, chunk)
+    started = time.perf_counter()
+    accepted, delta = verify_pairs(state.verifier, chunk)
+    delta["spans"] = [
+        span_dict("verify.chunk", started, time.perf_counter() - started,
+                  _span_id("vchunk"), pairs=len(chunk),
+                  ted_calls=delta["ted_calls"]),
+    ]
+    return accepted, delta
 
 
 def verify_chunk_task(task: tuple) -> tuple:
@@ -332,7 +377,14 @@ def verify_stream_chunk(
     brackets, pairs = task
     state = _STREAM_STATE
     state.store.update(brackets)
-    return verify_pairs(state.verifier, pairs)
+    started = time.perf_counter()
+    accepted, delta = verify_pairs(state.verifier, pairs)
+    delta["spans"] = [
+        span_dict("verify.stream_chunk", started,
+                  time.perf_counter() - started, _span_id("schunk"),
+                  pairs=len(pairs), ted_calls=delta["ted_calls"]),
+    ]
+    return accepted, delta
 
 
 def verify_stream_chunk_task(task: tuple) -> tuple:

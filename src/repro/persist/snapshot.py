@@ -51,6 +51,7 @@ from repro.errors import (
     SnapshotIntegrityError,
     StaleSnapshotError,
 )
+from repro.obs.trace import NULL_TRACER
 from repro.persist.container import read_container, write_container
 from repro.tree.bracket import parse_bracket, to_bracket
 from repro.tree.node import Tree
@@ -141,38 +142,44 @@ def save_collection(
     path: str | Path,
     include_trees: bool = True,
     source: Optional[str | Path] = None,
+    tracer=None,
 ) -> Path:
     """Write ``collection`` (trees + every prepared tau) to ``path``.
 
     ``include_trees=False`` produces a sidecar that only makes sense next
     to its dataset file — pass ``source=`` so loading can verify the
-    dataset has not changed since.
+    dataset has not changed since.  ``tracer`` (a
+    :class:`repro.obs.Tracer`) records the save as one
+    ``snapshot.save`` span.
     """
     from repro import __version__
 
+    tracer = tracer if tracer is not None else NULL_TRACER
     path = Path(path)
     prepared = list(collection._prepared.values())
-    meta = {
-        "trees": len(collection),
-        "include_trees": bool(include_trees),
-        "preps": [
-            {"tau": prep.tau, "config": _config_fields(prep.config)}
-            for prep in prepared
-        ],
-    }
-    sections: list[tuple[str, bytes]] = [("meta", _json_bytes(meta))]
-    if source is not None:
-        sections.append(("source", _json_bytes(source_fingerprint(source))))
-    if include_trees:
-        payload = "\n".join(to_bracket(tree) for tree in collection.trees)
-        sections.append(("trees", payload.encode("utf-8")))
-    sections.append(
-        ("interner", _json_bytes(collection.interner._labels[1:]))
-    )
-    sections.append(("order", _json_bytes(list(collection.sorted.order))))
-    for position, prep in enumerate(prepared):
-        sections.append((f"prep:{position}", _encode_prep(prep)))
-    write_container(path, sections, library_version=__version__)
+    with tracer.span("snapshot.save", path=str(path),
+                     trees=len(collection), preps=len(prepared)):
+        meta = {
+            "trees": len(collection),
+            "include_trees": bool(include_trees),
+            "preps": [
+                {"tau": prep.tau, "config": _config_fields(prep.config)}
+                for prep in prepared
+            ],
+        }
+        sections: list[tuple[str, bytes]] = [("meta", _json_bytes(meta))]
+        if source is not None:
+            sections.append(("source", _json_bytes(source_fingerprint(source))))
+        if include_trees:
+            payload = "\n".join(to_bracket(tree) for tree in collection.trees)
+            sections.append(("trees", payload.encode("utf-8")))
+        sections.append(
+            ("interner", _json_bytes(collection.interner._labels[1:]))
+        )
+        sections.append(("order", _json_bytes(list(collection.sorted.order))))
+        for position, prep in enumerate(prepared):
+            sections.append((f"prep:{position}", _encode_prep(prep)))
+        write_container(path, sections, library_version=__version__)
     return path
 
 
@@ -271,6 +278,7 @@ def load_collection(
     path: str | Path,
     trees: Optional[Sequence[Tree]] = None,
     expected_source: Optional[str | Path] = None,
+    tracer=None,
 ):
     """Rebuild a :class:`~repro.session.TreeCollection` from ``path``.
 
@@ -278,14 +286,26 @@ def load_collection(
     without them (a sidecar); when given it overrides embedded trees.
     ``expected_source`` (a dataset path) enforces the staleness check:
     the snapshot must carry a matching source fingerprint or
-    :class:`StaleSnapshotError` is raised.
+    :class:`StaleSnapshotError` is raised.  ``tracer`` (a
+    :class:`repro.obs.Tracer`) records the load as one
+    ``snapshot.load`` span.
 
     Raises the :class:`~repro.errors.PersistenceError` family on any
     damage or mismatch; never returns a partially restored session.
     """
     from repro.session import TreeCollection
 
+    tracer = tracer if tracer is not None else NULL_TRACER
     path = Path(path)
+    with tracer.span("snapshot.load", path=str(path)) as _load_span:
+        collection = _load_collection_inner(
+            path, trees, expected_source, TreeCollection, _load_span
+        )
+    return collection
+
+
+def _load_collection_inner(path, trees, expected_source, TreeCollection,
+                           load_span):
     library_version, sections = read_container(path)
     try:
         meta = json.loads(sections["meta"].decode("utf-8"))
@@ -365,6 +385,8 @@ def load_collection(
         key = collection._prep_key(prep.tau, prep.config)
         collection._prepared[key] = prep
         restored.append(prep.tau)
+    load_span.set("trees", len(trees))
+    load_span.set("restored_taus", restored)
 
     collection._provenance = {
         "path": str(path),

@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.errors import InvalidParameterError, SnapshotFormatError, WALCorruptError
+from repro.obs.trace import NULL_TRACER
 
 __all__ = ["WAL_MAGIC", "WAL_FSYNC_POLICIES", "StreamWAL", "scan_wal"]
 
@@ -74,11 +75,19 @@ class StreamWAL:
     salvaged log.  Not thread-safe — the engine serializes arrivals.
     """
 
-    def __init__(self, path: str | Path, handle, fsync: str, records: int):
+    def __init__(
+        self,
+        path: str | Path,
+        handle,
+        fsync: str,
+        records: int,
+        tracer=None,
+    ):
         self.path = Path(path)
         self.fsync = _check_policy(fsync)
         self.records = records  # arrival records (header not counted)
         self.synced_records = records if handle is None else 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._handle = handle
         self._dirty = False
 
@@ -89,6 +98,7 @@ class StreamWAL:
         tau: int,
         config,
         fsync: str = "batch",
+        tracer=None,
     ) -> "StreamWAL":
         """Start a fresh log for a new stream (truncates ``path``)."""
         from repro import __version__
@@ -109,7 +119,7 @@ class StreamWAL:
         handle.write(payload)
         handle.flush()
         os.fsync(handle.fileno())  # the header is durable regardless of policy
-        wal = cls(path, handle, fsync, records=0)
+        wal = cls(path, handle, fsync, records=0, tracer=tracer)
         wal.synced_records = 0
         return wal
 
@@ -120,6 +130,7 @@ class StreamWAL:
         good_bytes: int,
         records: int,
         fsync: str = "batch",
+        tracer=None,
     ) -> "StreamWAL":
         """Continue appending after recovery.
 
@@ -130,7 +141,7 @@ class StreamWAL:
         handle = open(path, "r+b")
         handle.truncate(good_bytes)
         handle.seek(good_bytes)
-        wal = cls(path, handle, fsync, records=records)
+        wal = cls(path, handle, fsync, records=records, tracer=tracer)
         wal.synced_records = records
         return wal
 
@@ -155,11 +166,13 @@ class StreamWAL:
         """Make everything appended so far durable (a flush point)."""
         if self._handle is None or not self._dirty:
             return
-        self._handle.flush()
-        if self.fsync != "never":
-            os.fsync(self._handle.fileno())
-            self.synced_records = self.records
-        self._dirty = False
+        with self.tracer.span("wal.sync", records=self.records,
+                              fsync=self.fsync):
+            self._handle.flush()
+            if self.fsync != "never":
+                os.fsync(self._handle.fileno())
+                self.synced_records = self.records
+            self._dirty = False
 
     def close(self) -> None:
         if self._handle is None:

@@ -43,6 +43,7 @@ treated as failed and retried.  The ``corrupt`` fault flips the payload
 from __future__ import annotations
 
 import fnmatch
+import io
 import os
 import pickle
 import time
@@ -173,7 +174,17 @@ class FaultInjector:
 # ---------------------------------------------------------------------------
 
 def _crc(payload) -> int:
-    return zlib.crc32(pickle.dumps(payload, protocol=4))
+    # Identity-blind pickling (no memo): the worker computes this CRC on
+    # the original payload, the supervisor on the unpickled copy, and
+    # object sharing is not preserved across that round-trip (e.g. an
+    # attrs-dict key that is the same interned string as a dataclass
+    # field name in the worker).  Disabling memoization makes the bytes
+    # a pure function of the payload's *values*; payloads are acyclic.
+    buffer = io.BytesIO()
+    pickler = pickle.Pickler(buffer, protocol=4)
+    pickler.fast = True
+    pickler.dump(payload)
+    return zlib.crc32(buffer.getvalue())
 
 
 def seal(payload) -> tuple:

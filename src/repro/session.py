@@ -76,6 +76,8 @@ from repro.core.partition import (
 )
 from repro.core.treecache import TreeCache
 from repro.errors import InvalidParameterError
+from repro.obs.metrics import publish_join_stats
+from repro.obs.trace import NULL_TRACER
 from repro.params import check_micro_batch, check_tau, check_workers
 from repro.tree.node import Tree
 
@@ -140,6 +142,20 @@ def _resolve_partsj_config(
             config or PartSJConfig(), workers=workers
         )
     return (config or PartSJConfig()).resolved()
+
+
+def _observability_section(span_names: Sequence[str], metrics: str) -> dict:
+    """The ``"observability"`` entry every plan's :meth:`explain` carries.
+
+    ``span_names`` are the span names a traced ``run(trace=Tracer())``
+    would emit for this plan's execution shape; ``metrics`` names the
+    metric family prefix (and publish hook) the run's statistics feed.
+    """
+    return {
+        "trace": "pass trace=repro.obs.Tracer() to run()",
+        "span_names": list(span_names),
+        "metrics": metrics,
+    }
 
 
 class _PreparedTau:
@@ -765,29 +781,44 @@ class JoinPlan(QueryPlan):
             return None
         return ("join", self.tau, self.method, self.workers, options)
 
-    def run(self) -> JoinResult:
+    def run(self, trace=None) -> JoinResult:
         """Execute (or fetch from the session's result cache).
 
         The returned :class:`~repro.baselines.common.JoinResult` may be
         served to later identical queries — treat it as read-only.
+
+        ``trace`` (a :class:`repro.obs.Tracer`) records the execution as
+        a span tree rooted at ``join``; a traced run bypasses the result
+        cache *read* (a cache hit would execute nothing and emit no
+        spans) but its result — bit-identical with tracing on or off —
+        still lands in the cache.  Every executed run also publishes its
+        :class:`~repro.baselines.common.JoinStats` into the process-wide
+        metrics registry (:func:`repro.obs.publish_join_stats`).
         """
         col = self.collection
+        tracer = trace if trace is not None else NULL_TRACER
         key = self._cache_key()
-        cached = col._cached_result(key)
-        if cached is not None:
-            return cached
-        if self.config is not None:
-            result = self._run_partsj()
-        else:
-            impl = _BASELINE_IMPLS[self.method]
-            options = dict(self.options)
-            if self.workers != 1:
-                options["workers"] = self.workers
-            result = impl(col.trees, self.tau, **options)
+        if not tracer.enabled:
+            cached = col._cached_result(key)
+            if cached is not None:
+                return cached
+        method = "partsj" if self.config is not None else self.method
+        with tracer.span("join", method=method, tau=self.tau,
+                         workers=self.workers, trees=len(col)) as sp:
+            if self.config is not None:
+                result = self._run_partsj(tracer)
+            else:
+                impl = _BASELINE_IMPLS[self.method]
+                options = dict(self.options)
+                if self.workers != 1:
+                    options["workers"] = self.workers
+                result = impl(col.trees, self.tau, **options)
+            sp.set("results", len(result.pairs))
+        publish_join_stats(result.stats)
         col._store_result(key, result)
         return result
 
-    def _run_partsj(self) -> JoinResult:
+    def _run_partsj(self, tracer=NULL_TRACER) -> JoinResult:
         col = self.collection
         cfg = self.config
         if cfg.workers > 1:
@@ -807,12 +838,13 @@ class JoinPlan(QueryPlan):
                     interner=col.interner,
                     caches=col._caches,
                 )
-            return partsj_join(col.trees, self.tau, cfg, prepared=state)
+            return partsj_join(col.trees, self.tau, cfg, prepared=state,
+                               tracer=tracer)
         prep, fresh = col._prepare_entry(self.tau, cfg)
         verifier = Verifier(col.trees, self.tau, caches=col.verifier_caches)
         result = partsj_join(
             col.trees, self.tau, cfg,
-            prepared=prep.join_state(), verifier=verifier,
+            prepared=prep.join_state(), verifier=verifier, tracer=tracer,
         )
         # Keep the paper's two-phase accounting intact: a cold run did
         # the partitioning inside prepare(), so its cost is folded back
@@ -883,6 +915,22 @@ class JoinPlan(QueryPlan):
                 }
         else:
             plan["options"] = dict(self.options)
+        if self.config is not None and self.workers > 1:
+            spans = (
+                "join", "parallel.plan", "parallel.candidates", "shard:<n>",
+                "partsj.band", "partsj.probe", "partsj.index",
+                "verify.parallel", "verify.chunk",
+            )
+        elif self.config is not None:
+            spans = (
+                "join", "partsj.loop", "partsj.probe", "partsj.index",
+                "partsj.verify",
+            )
+        else:
+            spans = ("join",)
+        plan["observability"] = _observability_section(
+            spans, "repro_join_* (published via repro.obs.publish_join_stats)"
+        )
         return plan
 
 
@@ -927,9 +975,14 @@ class RSJoinPlan(QueryPlan):
         merged = self.left._merged_with(self.right)
         return JoinPlan(merged, tau, method, workers, config, dict(options))
 
-    def run(self) -> JoinResult:
-        """All cross pairs ``(i, j)`` with ``TED(left[i], right[j]) <= tau``."""
-        inner = self._inner_plan().run()
+    def run(self, trace=None) -> JoinResult:
+        """All cross pairs ``(i, j)`` with ``TED(left[i], right[j]) <= tau``.
+
+        ``trace`` is forwarded to the merged self-join's
+        :meth:`JoinPlan.run` — the R×S post-filter adds no spans of its
+        own.
+        """
+        inner = self._inner_plan().run(trace=trace)
         offset = len(self.left)
         cross: list[JoinPair] = []
         discarded = 0
@@ -999,6 +1052,10 @@ class RSJoinPlan(QueryPlan):
         plan["kind"] = self.kind
         plan["left_trees"] = len(self.left)
         plan["right_trees"] = len(self.right)
+        plan.setdefault("observability", _observability_section(
+            ("join",),
+            "repro_join_* (published via repro.obs.publish_join_stats)",
+        ))
         return plan
 
 
@@ -1023,12 +1080,19 @@ class SearchPlan(QueryPlan):
         self.tau = check_tau(tau)
         self.config = collection._resolved(config)
 
-    def run(self) -> list:
+    def run(self, trace=None) -> list:
         """All collection trees with ``TED(query, tree) <= tau``, as
-        :class:`repro.search.SearchHit` objects."""
-        return self.collection.prepare(self.tau, self.config).searcher().search(
-            self.query
-        )
+        :class:`repro.search.SearchHit` objects.  ``trace`` (a
+        :class:`repro.obs.Tracer`) records the query as one ``search``
+        span."""
+        tracer = trace if trace is not None else NULL_TRACER
+        with tracer.span("search", tau=self.tau,
+                         query_size=self.query.size) as sp:
+            hits = self.collection.prepare(
+                self.tau, self.config
+            ).searcher().search(self.query)
+            sp.set("hits", len(hits))
+        return hits
 
     def explain(self) -> dict:
         col = self.collection
@@ -1049,6 +1113,9 @@ class SearchPlan(QueryPlan):
         }
         if prepared:
             plan["index"] = col.prepare(self.tau, self.config).describe()
+        plan["observability"] = _observability_section(
+            ("search",), "none (session stats only)"
+        )
         return plan
 
 
@@ -1080,15 +1147,19 @@ class StreamPlan(QueryPlan):
         self.micro_batch = check_micro_batch(micro_batch)
         self.collection = collection
 
-    def iter(self) -> Iterator[JoinPair]:
-        """Yield verified pairs as they are found (lazy in the source)."""
-        return self._generate()
+    def iter(self, trace=None) -> Iterator[JoinPair]:
+        """Yield verified pairs as they are found (lazy in the source).
 
-    def _generate(self) -> Iterator[JoinPair]:
+        ``trace`` (a :class:`repro.obs.Tracer`) is handed to the
+        streaming engine — it records ``stream.flush`` spans plus the
+        background pool's relayed per-chunk spans."""
+        return self._generate(trace)
+
+    def _generate(self, trace=None) -> Iterator[JoinPair]:
         from repro.stream.engine import StreamingJoin
 
         with StreamingJoin(
-            self.tau, config=self.config, workers=self.workers
+            self.tau, config=self.config, workers=self.workers, tracer=trace
         ) as join:
             batch: list[Tree] = []
             for tree in self.source:
@@ -1100,11 +1171,11 @@ class StreamPlan(QueryPlan):
                 yield from join.add_many(batch)
             yield from join.flush()
 
-    def run(self) -> list[JoinPair]:
+    def run(self, trace=None) -> list[JoinPair]:
         """Drain the stream; the pairs equal a batch join of the source."""
-        return list(self.iter())
+        return list(self.iter(trace=trace))
 
-    def engine(self):
+    def engine(self, trace=None):
         """A live :class:`~repro.stream.StreamingJoin` pre-loaded with the
         source — the warm-handoff path for callers who keep ingesting.
         Pairs found during pre-load are in ``engine.pairs``; the caller
@@ -1112,7 +1183,9 @@ class StreamPlan(QueryPlan):
         """
         from repro.stream.engine import StreamingJoin
 
-        join = StreamingJoin(self.tau, config=self.config, workers=self.workers)
+        join = StreamingJoin(
+            self.tau, config=self.config, workers=self.workers, tracer=trace
+        )
         join.add_many(self.source)
         return join
 
@@ -1129,4 +1202,10 @@ class StreamPlan(QueryPlan):
                 else {"trees": None}  # lazy iterable; length unknown
             ),
             "prepared": False,  # the engine builds its own state incrementally
+            "observability": _observability_section(
+                ("stream.flush", "verify.stream_chunk", "wal.append",
+                 "wal.sync"),
+                "repro_stream_* (published via "
+                "repro.obs.publish_stream_stats)",
+            ),
         }

@@ -55,6 +55,7 @@ from repro.core.join import PartSJConfig, ShardDriver
 from repro.core.subgraph import MatchSemantics
 from repro.core.treecache import TreeCache
 from repro.errors import InvalidParameterError
+from repro.obs.trace import NULL_TRACER
 from repro.parallel.sharding import ShardPlan, ShardPlanner
 from repro.params import check_tau, check_workers
 from repro.stream.reverse import NodeTwigIndex
@@ -149,6 +150,12 @@ class StreamingJoin:
         before ``add`` returns, ``"batch"`` (default) fsyncs at flush
         points (:meth:`flush` / :meth:`close`), ``"never"`` leaves it to
         the OS.  See :mod:`repro.persist.wal`.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  When enabled it records a
+        ``wal.append`` span per logged arrival, a ``stream.flush`` span
+        per flush, and the background pool's relayed per-chunk
+        ``verify.stream_chunk`` spans.  Tracing never changes pairs,
+        distances, or any :class:`StreamStats` field.
 
     Usage::
 
@@ -170,8 +177,10 @@ class StreamingJoin:
         workers: Optional[int] = None,
         wal: Optional[str] = None,
         wal_fsync: str = "batch",
+        tracer=None,
     ):
         check_tau(tau)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         cfg = (config or PartSJConfig()).resolved()
         if workers is not None:
             cfg = replace(cfg, workers=check_workers(workers))
@@ -206,7 +215,9 @@ class StreamingJoin:
             # A fresh engine means a fresh stream: arrival indices start
             # at 0, so an existing log is truncated, not appended to
             # (continuing an old log is recover()'s job).
-            self._wal = StreamWAL.create(wal, tau, cfg, fsync=wal_fsync)
+            self._wal = StreamWAL.create(
+                wal, tau, cfg, fsync=wal_fsync, tracer=self._tracer
+            )
 
     # -- ingestion -----------------------------------------------------------
 
@@ -233,7 +244,8 @@ class StreamingJoin:
             # recovered state is batch-equivalent over the logged trees.
             from repro.tree.bracket import to_bracket
 
-            self._wal.append(to_bracket(tree))
+            with self._tracer.span("wal.append", arrival=len(self.trees)):
+                self._wal.append(to_bracket(tree))
         i = self.collection.insert(tree)
         candidates, subgraphs = self._driver.ingest(i)
         if subgraphs is not None:
@@ -361,6 +373,7 @@ class StreamingJoin:
                 self.workers,
                 policy=self.config.retry,
                 injector=self.config.fault_injector,
+                tracer=self._tracer,
             )
         return self._pool
 
@@ -373,12 +386,17 @@ class StreamingJoin:
         With a WAL attached, a flush is also a durability point: under
         the ``"batch"`` fsync policy the logged prefix is synced here.
         """
-        if self._wal is not None:
-            self._wal.sync()
-        if self._pool is None:
-            return []
-        found = [JoinPair(*triple) for triple in self._pool.drain()]
-        self._pairs.extend(found)
+        with self._tracer.span(
+            "stream.flush",
+            pending=self._pool.pending if self._pool else 0,
+        ) as sp:
+            if self._wal is not None:
+                self._wal.sync()
+            if self._pool is None:
+                return []
+            found = [JoinPair(*triple) for triple in self._pool.drain()]
+            self._pairs.extend(found)
+            sp.set("found", len(found))
         return found
 
     # -- results and introspection -------------------------------------------
@@ -487,6 +505,7 @@ class StreamingJoin:
         workers: Optional[int] = None,
         fsync: str = "batch",
         resume: bool = True,
+        tracer=None,
     ) -> "StreamingJoin":
         """Rebuild an engine from a write-ahead log after a crash.
 
@@ -514,19 +533,25 @@ class StreamingJoin:
         from repro.persist.wal import StreamWAL, scan_wal
         from repro.tree.bracket import parse_bracket
 
-        scanned = scan_wal(path)
-        header = scanned["header"]
-        config = PartSJConfig(**header["config"]).resolved()
-        engine = cls(header["tau"], config=config, workers=workers)
-        for bracket in scanned["brackets"]:
-            engine.add(parse_bracket(bracket))
-        engine.flush()
-        salvage = scanned["salvage"]
-        engine._recovered = {"path": str(path), **salvage}
-        if resume:
-            engine._wal = StreamWAL.reopen(
-                path, salvage["good_bytes"], salvage["records"], fsync=fsync
+        resolved_tracer = tracer if tracer is not None else NULL_TRACER
+        with resolved_tracer.span("wal.recover", path=str(path)) as sp:
+            scanned = scan_wal(path)
+            header = scanned["header"]
+            config = PartSJConfig(**header["config"]).resolved()
+            engine = cls(
+                header["tau"], config=config, workers=workers, tracer=tracer
             )
+            for bracket in scanned["brackets"]:
+                engine.add(parse_bracket(bracket))
+            engine.flush()
+            salvage = scanned["salvage"]
+            sp.set("records", salvage["records"])
+            engine._recovered = {"path": str(path), **salvage}
+            if resume:
+                engine._wal = StreamWAL.reopen(
+                    path, salvage["good_bytes"], salvage["records"],
+                    fsync=fsync, tracer=resolved_tracer,
+                )
         return engine
 
     def __enter__(self) -> "StreamingJoin":

@@ -53,6 +53,7 @@ from typing import AsyncIterator, Iterable, Optional, Union
 from repro.baselines.common import JoinPair
 from repro.core.join import PartSJConfig
 from repro.errors import IngestError, InvalidParameterError, ReproError
+from repro.obs.metrics import publish_stream_stats
 from repro.search import SearchHit
 from repro.stream.engine import StreamingJoin, StreamStats
 from repro.tree.bracket import parse_bracket
@@ -138,6 +139,8 @@ class StreamJoinService:
         on_error: str = "fail",
         wal: Optional[str] = None,
         wal_fsync: str = "batch",
+        tracer=None,
+        registry=None,
     ):
         if on_error not in ("fail", "skip"):
             raise InvalidParameterError(
@@ -146,9 +149,15 @@ class StreamJoinService:
         # wal / wal_fsync pass straight to the engine: arrivals are
         # logged before they mutate state, and every service flush is a
         # WAL sync point (see repro.persist.wal for the policy promises).
+        # tracer is handed to the engine too (flush / WAL / pool spans);
+        # registry receives the repro_stream_* metrics fan-out — every
+        # stats() call and the final close() publish a snapshot into it
+        # (None = the process-wide default registry).
         self._join = StreamingJoin(
-            tau, config=config, workers=workers, wal=wal, wal_fsync=wal_fsync
+            tau, config=config, workers=workers, wal=wal,
+            wal_fsync=wal_fsync, tracer=tracer,
         )
+        self._registry = registry
         self._lock = asyncio.Lock()
         self._subscribers: list[Subscription] = []
         self._on_error = on_error
@@ -243,8 +252,16 @@ class StreamJoinService:
             return self._join.results()
 
     async def stats(self) -> StreamStats:
+        """A :class:`StreamStats` snapshot, also fanned out as metrics.
+
+        Every call publishes the snapshot into the metrics registry
+        (:func:`repro.obs.publish_stream_stats`) — scraping the service
+        is ``await stats()`` then ``render_prometheus(registry)``.
+        """
         async with self._lock:
-            return self._join.stats()
+            snapshot = self._join.stats()
+        publish_stream_stats(snapshot, registry=self._registry)
+        return snapshot
 
     def subscribe(
         self, maxsize: int = 0, overflow: str = "block"
@@ -295,6 +312,9 @@ class StreamJoinService:
             await self._publish(pairs)
             for subscription in list(self._subscribers):
                 subscription._end()
+            # Final metrics fan-out: the closing snapshot lands in the
+            # registry even for services that never called stats().
+            publish_stream_stats(self._join.stats(), registry=self._registry)
         finally:
             self._close_done.set()
 

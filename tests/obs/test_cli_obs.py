@@ -1,0 +1,102 @@
+"""CLI observability surface: join --trace, stats --metrics, trace."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import read_jsonl, span_roots
+
+
+@pytest.fixture
+def dataset_file(tmp_path):
+    path = tmp_path / "forest.trees"
+    assert main([
+        "generate", "--dataset", "synthetic", "--count", "25",
+        "--seed", "8", "--size", "12", "--out", str(path),
+    ]) == 0
+    return path
+
+
+class TestJoinTrace:
+    def test_writes_parseable_jsonl(self, dataset_file, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "join", str(dataset_file), "--tau", "1", "--trace", str(trace),
+        ]) == 0
+        assert f"trace spans to {trace}" in capsys.readouterr().err
+        rows = read_jsonl(trace)
+        assert rows
+        roots, _ = span_roots(rows)  # parent ids form a tree (no cycle)
+        assert [row["name"] for row in roots] == ["join"]
+
+    def test_trace_does_not_change_results(self, dataset_file, tmp_path,
+                                           capsys):
+        assert main([
+            "join", str(dataset_file), "--tau", "2", "--json",
+        ]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main([
+            "join", str(dataset_file), "--tau", "2", "--json",
+            "--trace", str(tmp_path / "t.jsonl"),
+        ]) == 0
+        traced = json.loads(capsys.readouterr().out)
+        assert traced["pairs"] == plain["pairs"]
+        assert traced["stats"]["candidates"] == plain["stats"]["candidates"]
+
+    def test_multi_tau_spans_share_one_trace(self, dataset_file, tmp_path,
+                                             capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "join", str(dataset_file), "--tau", "1", "--tau", "2",
+            "--trace", str(trace),
+        ]) == 0
+        rows = read_jsonl(trace)
+        joins = [row for row in rows if row["name"] == "join"]
+        assert len(joins) == 2
+        assert len({row["trace_id"] for row in rows}) == 1
+
+
+class TestTraceSubcommand:
+    def test_renders_span_tree(self, dataset_file, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "join", str(dataset_file), "--tau", "1", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace ")
+        assert "join" in out and "ms" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStatsMetrics:
+    def test_dataset_metrics_exposition(self, dataset_file, capsys):
+        assert main(["stats", str(dataset_file), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_dataset_trees gauge" in out
+        assert 'repro_dataset_trees{dataset="' in out
+        assert out.endswith("\n")
+        for line in out.splitlines():
+            assert line.startswith("#") or " " in line
+
+    def test_stream_metrics_exposition(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("{a{b}}\n{a{b}{c}}\n{a{c}}\n")
+        )
+        assert main(["stats", "--stream", "--tau", "1", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_stream_trees gauge" in out
+        assert "repro_stream_trees 3" in out
+        assert "repro_stream_snapshots_total 1" in out

@@ -1,0 +1,159 @@
+"""Unit tests for :mod:`repro.obs.export`: JSONL, Prometheus, span trees."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    format_span_tree,
+    read_jsonl,
+    render_prometheus,
+    span_roots,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, span_dict
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer(trace_id="feedc0de00000000")
+    with tracer.span("join", tau=1):
+        with tracer.span("partsj.loop"):
+            tracer.record("partsj.probe", 0.001, probe_hits=3)
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer = sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        written = write_jsonl(tracer.finished(), path)
+        assert written == 3
+        rows = read_jsonl(path)
+        assert {row["name"] for row in rows} == {
+            "join", "partsj.loop", "partsj.probe"
+        }
+        assert all(row["trace_id"] == "feedc0de00000000" for row in rows)
+
+    def test_accepts_dicts_too(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert write_jsonl([span_dict("s", 0.0, 0.1, "x-1")], path) == 1
+        assert read_jsonl(path)[0]["name"] == "s"
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(sample_tracer().finished(), path)
+        for line in path.read_text().splitlines():
+            assert isinstance(json.loads(line), dict)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"span_id": "a", "name": "s"}\n\n\n')
+        assert len(read_jsonl(path)) == 1
+
+    def test_bad_json_reports_line_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"span_id": "a", "name": "s"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_jsonl(path)
+
+    def test_non_span_object_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "missing id"}\n')
+        with pytest.raises(ValueError, match="span_id"):
+            read_jsonl(path)
+
+
+class TestRenderPrometheus:
+    def test_counter_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "Things counted", method="partsj").inc(3)
+        text = render_prometheus(reg)
+        assert "# HELP repro_x_total Things counted\n" in text
+        assert "# TYPE repro_x_total counter\n" in text
+        assert 'repro_x_total{method="partsj"} 3\n' in text
+        assert text.endswith("\n")
+
+    def test_gauge_without_labels(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_g", "A gauge").set(1.5)
+        assert "repro_g 1.5" in render_prometheus(reg).splitlines()
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("repro_h_seconds", "Walls", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 2.0):
+            hist.observe(value)
+        lines = render_prometheus(reg).splitlines()
+        assert 'repro_h_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_h_seconds_bucket{le="1"} 2' in lines
+        assert 'repro_h_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_h_seconds_count 3" in lines
+        assert any(line.startswith("repro_h_seconds_sum ") for line in lines)
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", path='a"b\\c\nd').inc()
+        text = render_prometheus(reg)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_exposition_is_parseable(self):
+        """Structural format check: every non-comment line is
+        ``name{labels} value`` with a float-parseable value."""
+        reg = MetricsRegistry()
+        reg.counter("a_total", "x", k="v").inc(2)
+        reg.gauge("b", "y").set(0.25)
+        reg.histogram("c_seconds", "z").observe(0.01)
+        for line in render_prometheus(reg).splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part
+            if value != "+Inf":
+                float(value)
+
+
+class TestSpanRoots:
+    def test_forest_partition(self):
+        rows = [
+            span_dict("root", 0.0, 1.0, "a"),
+            span_dict("child", 0.1, 0.5, "b", parent_id="a"),
+            span_dict("orphan", 0.2, 0.1, "c", parent_id="missing"),
+        ]
+        roots, children = span_roots(rows)
+        assert {row["name"] for row in roots} == {"root", "orphan"}
+        assert [c["name"] for c in children["a"]] == ["child"]
+
+    def test_cycle_detected(self):
+        rows = [
+            span_dict("a", 0.0, 1.0, "a", parent_id="b"),
+            span_dict("b", 0.0, 1.0, "b", parent_id="a"),
+        ]
+        with pytest.raises(ValueError, match="cycle"):
+            span_roots(rows)
+
+
+class TestFormatSpanTree:
+    def test_empty_trace(self):
+        assert format_span_tree([]) == "(empty trace)"
+
+    def test_renders_nesting_durations_attrs(self):
+        text = format_span_tree(sample_tracer().finished())
+        lines = text.splitlines()
+        assert lines[0] == "trace feedc0de00000000"
+        assert any("join" in line and "ms" in line for line in lines)
+        probe = next(line for line in lines if "partsj.probe" in line)
+        assert "probe_hits=3" in probe
+        # children indented under parents
+        join_line = next(line for line in lines if "  join" in line)
+        loop_line = next(line for line in lines if "partsj.loop" in line)
+        assert loop_line.index("partsj.loop") > join_line.index("join")
+
+    def test_open_span_rendered_without_duration(self):
+        rows = [span_dict("open", 0.0, None, "a")]
+        rows[0]["duration"] = None
+        assert "open" in format_span_tree(rows)

@@ -1,0 +1,179 @@
+"""Unit tests for :mod:`repro.obs.trace`: spans, tracers, the null tracer."""
+
+import os
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    new_trace_id,
+    phase_timer,
+    span_dict,
+)
+
+
+class TestTracer:
+    def test_span_records_interval_and_finishes(self):
+        tracer = Tracer()
+        with tracer.span("work", items=3) as sp:
+            sp.set("done", True)
+        spans = tracer.finished()
+        assert [s.name for s in spans] == ["work"]
+        assert spans[0].duration is not None and spans[0].duration >= 0
+        assert spans[0].attrs == {"items": 3, "done": True}
+        assert spans[0].trace_id == tracer.trace_id
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span_id == inner.span_id
+            assert tracer.current_span_id == outer.span_id
+        assert tracer.current_span_id is None
+        by_name = {s.name: s for s in tracer.finished()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+    def test_completion_order_children_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.finished()] == ["inner", "outer"]
+
+    def test_span_ids_are_unique(self):
+        tracer = Tracer()
+        for _ in range(50):
+            with tracer.span("s"):
+                pass
+        ids = [s.span_id for s in tracer.finished()]
+        assert len(set(ids)) == len(ids)
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("no")
+        (span,) = tracer.finished()
+        assert span.attrs["error"] == "RuntimeError"
+        assert span.duration is not None
+
+    def test_record_synthetic_span_under_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            tracer.record("phase", 0.125, probe_hits=7)
+        phase = tracer.finished()[0]
+        assert phase.name == "phase"
+        assert phase.duration == 0.125
+        assert phase.parent_id == parent.span_id
+        assert phase.attrs == {"probe_hits": 7}
+
+    def test_graft_reroots_orphans_and_adopts_trace_id(self):
+        tracer = Tracer()
+        relayed = [
+            span_dict("shard:0", 0.0, 0.5, "w-1"),
+            span_dict("partsj.probe", 0.1, 0.2, "w-2", parent_id="w-1"),
+        ]
+        with tracer.span("stage") as stage:
+            grafted = tracer.graft(relayed)
+        assert grafted == 2
+        by_name = {s.name: s for s in tracer.finished()}
+        assert by_name["shard:0"].parent_id == stage.span_id
+        assert by_name["partsj.probe"].parent_id == "w-1"
+        assert all(s.trace_id == tracer.trace_id for s in tracer.finished())
+
+    def test_explicit_trace_id_is_kept(self):
+        assert Tracer(trace_id="cafe").trace_id == "cafe"
+
+    def test_new_trace_ids_are_hex_and_distinct(self):
+        ids = {new_trace_id() for _ in range(32)}
+        assert len(ids) == 32
+        for tid in ids:
+            assert len(tid) == 16
+            int(tid, 16)
+
+    def test_to_dicts_round_trip_shape(self):
+        tracer = Tracer()
+        with tracer.span("a", k="v"):
+            pass
+        (row,) = tracer.to_dicts()
+        assert set(row) == {
+            "trace_id", "span_id", "parent_id", "name",
+            "start", "duration", "attrs",
+        }
+
+
+class TestSpanDict:
+    def test_pid_is_stamped(self):
+        row = span_dict("s", 1.0, 2.0, "x-1")
+        assert row["attrs"]["pid"] == os.getpid()
+        assert row["trace_id"] is None
+
+    def test_explicit_pid_wins(self):
+        row = span_dict("s", 1.0, 2.0, "x-1", pid=42)
+        assert row["attrs"]["pid"] == 42
+
+
+class TestNullTracer:
+    """Disabled tracing must cost nothing and record nothing."""
+
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer.enabled is True
+
+    def test_span_returns_the_one_shared_instance(self):
+        first = NULL_TRACER.span("a", big=1)
+        second = NULL_TRACER.span("b")
+        assert first is second  # no per-call allocation on the hot path
+
+    def test_null_span_is_inert(self):
+        with NULL_TRACER.span("a") as sp:
+            sp.set("k", "v")
+        assert NULL_TRACER.finished() == []
+        assert NULL_TRACER.to_dicts() == []
+
+    def test_record_and_graft_are_noops(self):
+        NULL_TRACER.record("x", 1.0)
+        assert NULL_TRACER.graft([span_dict("s", 0, 0, "i-1")]) == 0
+        assert NULL_TRACER.finished() == []
+
+    def test_exceptions_still_propagate(self):
+        with pytest.raises(ValueError):
+            with NullTracer().span("a"):
+                raise ValueError("x")
+
+
+class TestPhaseTimer:
+    def test_accumulates_across_uses(self):
+        class Stats:
+            probe_time = 0.0
+
+        stats = Stats()
+        with phase_timer(stats, "probe_time"):
+            pass
+        first = stats.probe_time
+        assert first >= 0
+        with phase_timer(stats, "probe_time"):
+            pass
+        assert stats.probe_time >= first
+
+    def test_accumulates_on_exception_and_reraises(self):
+        class Stats:
+            verify_time = 0.0
+
+        stats = Stats()
+        with pytest.raises(KeyError):
+            with phase_timer(stats, "verify_time"):
+                raise KeyError("boom")
+        assert stats.verify_time > 0
+
+
+class TestSpanStandalone:
+    def test_span_without_tracer_still_times(self):
+        span = Span("solo", None, "id-1", None)
+        with span:
+            pass
+        assert span.duration is not None

@@ -41,6 +41,10 @@ EXPECTED_EXPORTS = {
     "SyntheticParams", "TreeGenerator", "generate_forest",
     "swissprot_like", "treebank_like", "sentiment_like",
     "save_trees", "load_trees",
+    # observability
+    "Tracer", "Span", "MetricsRegistry", "get_registry",
+    "publish_join_stats", "publish_stream_stats",
+    "write_jsonl", "read_jsonl", "render_prometheus", "format_span_tree",
     # resilience
     "RetryPolicy", "FaultInjector",
     # errors

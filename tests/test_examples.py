@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     "quickstart",
     "session_reuse",
     "session_persist",
+    "session_observe",
     "xml_near_duplicates",
     "rna_motifs",
     "sentence_paraphrases",
@@ -44,8 +45,8 @@ def test_example_runs(name, capsys):
 def test_examples_directory_complete():
     present = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart", "session_reuse", "session_persist",
-            "xml_near_duplicates", "rna_motifs", "sentence_paraphrases",
-            "benchmark_tour"} <= present
+            "session_observe", "xml_near_duplicates", "rna_motifs",
+            "sentence_paraphrases", "benchmark_tour"} <= present
 
 
 def test_quickstart_mentions_its_own_invariants(capsys):
