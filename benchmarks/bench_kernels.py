@@ -1,0 +1,349 @@
+"""Kernel backends head to head: python reference vs numpy flat-array.
+
+PR 9 put the three hot loops behind ``PartSJConfig(backend=...)``: the
+probe/bucket-window walk (``repro.kernels.probe``), the partition span
+fills (``repro.kernels.partition``) and the tau-banded Zhang-Shasha DP
+(``repro.kernels.ted``).  This benchmark measures each kernel against
+its pure-python reference, and the two backends end to end, on a
+duplicate-heavy clustered workload (the dedup-dominated regime the probe
+kernel targets):
+
+- both backends must return *bit-identical* results — same pairs, same
+  distances, same candidate counts (the cross-backend test matrix in
+  ``tests/kernels/`` property-tests the same contract);
+- the committed snapshot ``BENCH_PR9.json`` records the measured
+  end-to-end and per-kernel ratios **honestly**: on CPython + numpy the
+  end-to-end ratio is ~1x at tau <= 3 — verification dominates and the
+  banded DP's 2*tau+1-cell rows are far below numpy's dispatch
+  break-even (measured 0.05-0.15x for the row-sliced vector DP at every
+  band up to 289), so ``BandedTed`` keeps those calls scalar and the
+  numpy win is confined to probe windows of ~a hundred entries or more;
+- ``python benchmarks/bench_kernels.py --snapshot`` regenerates the
+  snapshot; the CI kernels-smoke job guards against regressions with
+  ratios, not absolute seconds: the live numpy/python end-to-end ratio
+  may not fall below *half* the committed one.
+
+Run with ``pytest benchmarks/bench_kernels.py``.
+"""
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.join import PartSJConfig, ShardDriver, partsj_join
+from repro.kernels import numpy_available
+
+SNAPSHOT_PATH = Path(__file__).parent.parent / "BENCH_PR9.json"
+TAUS = (1, 2, 3)
+TED_TAUS = (1, 3, 8)
+REPEATS = 3
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed"
+)
+
+# Duplicate-heavy clusters: many near-copies of one base tree per
+# cluster, so probe windows carry long runs of already-checked owners —
+# the dedup-gather regime the probe kernel vectorizes.  The BENCH_PR9
+# snapshot is recorded on this exact definition (smoke count).
+KERNELS_WORKLOAD_COUNTS = {"smoke": 240, "small": 400, "medium": 640}
+KERNELS_WORKLOAD_SHAPE = dict(cluster_size=30, base_size=45, max_edits=2)
+KERNELS_WORKLOAD_SEED = 1105
+
+
+def make_kernels_workload(count: int):
+    from repro.tree.edits import random_script
+    from repro.tree.node import Tree, TreeNode
+
+    shape = KERNELS_WORKLOAD_SHAPE
+    rng = random.Random(KERNELS_WORKLOAD_SEED)
+    labels = list("abcd")
+    trees = []
+    while len(trees) < count:
+        root = TreeNode(rng.choice(labels))
+        nodes = [root]
+        for _ in range(shape["base_size"] - 1):
+            parent = rng.choice(nodes)
+            nodes.append(parent.add_child(TreeNode(rng.choice(labels))))
+        base = Tree(root)
+        for _ in range(min(shape["cluster_size"], count - len(trees))):
+            edited, _ = random_script(
+                base, rng.randint(0, shape["max_edits"]), rng, labels
+            )
+            trees.append(edited)
+    return trees
+
+
+@pytest.fixture(scope="module")
+def kernels_workload():
+    from repro.bench.experiments import get_scale
+
+    count = KERNELS_WORKLOAD_COUNTS.get(get_scale().name, 240)
+    return make_kernels_workload(count)
+
+
+def _best_join(trees, tau, backend, repeats=REPEATS):
+    best = None
+    for _ in range(repeats):
+        result = partsj_join(trees, tau, PartSJConfig(backend=backend))
+        if best is None or (
+            result.stats.candidate_time + result.stats.verify_time
+            < best[1]
+        ):
+            best = (result, result.stats.candidate_time
+                    + result.stats.verify_time)
+    return best[0]
+
+
+def measure_end_to_end(trees, taus=TAUS, repeats=REPEATS):
+    """Interleaved best-of runs per tau; asserts bit-identity."""
+    metrics = {}
+    for tau in taus:
+        py = _best_join(trees, tau, "python", repeats)
+        np_ = _best_join(trees, tau, "numpy", repeats)
+        assert [(p.i, p.j, p.distance) for p in py.pairs] == \
+            [(p.i, p.j, p.distance) for p in np_.pairs], f"tau={tau}"
+        assert py.stats.candidates == np_.stats.candidates
+        t_py = py.stats.candidate_time + py.stats.verify_time
+        t_np = np_.stats.candidate_time + np_.stats.verify_time
+        metrics[tau] = {
+            "python_s": round(t_py, 4),
+            "numpy_s": round(t_np, 4),
+            "ratio": round(t_py / max(t_np, 1e-9), 3),
+            "probe_ratio": round(
+                py.stats.probe_time / max(np_.stats.probe_time, 1e-9), 3
+            ),
+            "candidates": py.stats.candidates,
+            "results": py.stats.results,
+            "probe_hits": py.stats.extra["probe_hits"],
+            "dedup_skips": py.stats.extra["dedup_skips"],
+        }
+    return metrics
+
+
+def measure_probe(trees, tau=2, repeats=REPEATS):
+    """Candidate-generation phase only, via the incremental driver."""
+    order = sorted(range(len(trees)), key=lambda i: trees[i].size)
+
+    def run(backend):
+        driver = ShardDriver(
+            trees, tau, PartSJConfig(backend=backend).resolved()
+        )
+        for i in order:
+            driver.ingest(i)
+        return driver.probe_time
+
+    best = {"python": None, "numpy": None}
+    for _ in range(repeats):
+        for backend in best:
+            t = run(backend)
+            if best[backend] is None or t < best[backend]:
+                best[backend] = t
+    return {
+        "tau": tau,
+        "python_s": round(best["python"], 4),
+        "numpy_s": round(best["numpy"], 4),
+        "ratio": round(best["python"] / max(best["numpy"], 1e-9), 3),
+    }
+
+
+def measure_ted(taus=TED_TAUS, pairs=12, size=40):
+    """The vector DP forced on (crossover pinned to 0) vs the scalar DP."""
+    import repro.kernels.ted as kted
+    from repro.kernels.ted import BandedTed
+    from repro.ted.cutoff import zhang_shasha_bounded
+    from repro.tree.edits import random_script
+    from repro.tree.node import Tree, TreeNode
+
+    rng = random.Random(17)
+    labels = list("abcd")
+    sample = []
+    for _ in range(pairs):
+        root = TreeNode(rng.choice(labels))
+        nodes = [root]
+        for _ in range(size - 1):
+            nodes.append(
+                rng.choice(nodes).add_child(TreeNode(rng.choice(labels)))
+            )
+        a = Tree(root)
+        b, _ = random_script(a, rng.randint(1, 3), rng, labels)
+        sample.append((a, b))
+
+    saved = kted.NUMPY_TED_MIN_BAND
+    kted.NUMPY_TED_MIN_BAND = 0
+    banded = BandedTed()
+    out = {}
+    try:
+        for tau in taus:
+            t0 = time.perf_counter()
+            ref = [zhang_shasha_bounded(a, b, tau) for a, b in sample]
+            t_py = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            got = [banded(a, b, tau) for a, b in sample]
+            t_np = time.perf_counter() - t0
+            assert ref == got, f"tau={tau}: TED kernels disagree"
+            out[tau] = {
+                "band": 2 * tau + 1,
+                "python_ms": round(t_py * 1000, 2),
+                "numpy_ms": round(t_np * 1000, 2),
+                "ratio": round(t_py / max(t_np, 1e-9), 3),
+            }
+    finally:
+        kted.NUMPY_TED_MIN_BAND = saved
+    return out
+
+
+def measure_partition(tau=2, count=40, size=60):
+    from repro.core.partition import extract_partition
+    from repro.core.treecache import TreeCache
+
+    caches = [
+        TreeCache(tree) for tree in make_kernels_workload(count)
+    ]
+    delta = 2 * tau + 1
+    timings = {}
+    for backend in ("python", "numpy"):
+        best = None
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            out = [
+                extract_partition(c, 0, delta, backend=backend)
+                for c in caches
+            ]
+            t = time.perf_counter() - t0
+            if best is None or t < best[0]:
+                best = (t, out)
+        timings[backend] = best
+    bits = lambda runs: [  # noqa: E731
+        [(s.root_number, bytes(s.member_bits)) for s in subs] for subs in runs
+    ]
+    assert bits(timings["python"][1]) == bits(timings["numpy"][1])
+    return {
+        "delta": delta,
+        "python_ms": round(timings["python"][0] * 1000, 2),
+        "numpy_ms": round(timings["numpy"][0] * 1000, 2),
+        "ratio": round(
+            timings["python"][0] / max(timings["numpy"][0], 1e-9), 3
+        ),
+    }
+
+
+def render(end_to_end, probe, ted, partition) -> str:
+    lines = ["== kernels: python reference vs numpy backend =="]
+    for tau, m in end_to_end.items():
+        lines.append(
+            f"end-to-end tau={tau}: python {m['python_s']:.3f}s "
+            f"numpy {m['numpy_s']:.3f}s ({m['ratio']:.2f}x) "
+            f"candidates={m['candidates']} dedup={m['dedup_skips']}"
+        )
+    lines.append(
+        f"probe phase tau={probe['tau']}: python {probe['python_s']:.3f}s "
+        f"numpy {probe['numpy_s']:.3f}s ({probe['ratio']:.2f}x)"
+    )
+    for tau, m in ted.items():
+        lines.append(
+            f"banded TED tau={tau} (band {m['band']}): "
+            f"python {m['python_ms']:.1f}ms numpy {m['numpy_ms']:.1f}ms "
+            f"({m['ratio']:.2f}x, vector path forced)"
+        )
+    lines.append(
+        f"partition delta={partition['delta']}: "
+        f"python {partition['python_ms']:.1f}ms "
+        f"numpy {partition['numpy_ms']:.1f}ms ({partition['ratio']:.2f}x)"
+    )
+    return "\n".join(lines)
+
+
+def test_backends_bit_identical_end_to_end(kernels_workload, scale,
+                                           results_dir):
+    from conftest import save_and_print
+
+    end_to_end = measure_end_to_end(kernels_workload, repeats=2)
+    probe = measure_probe(kernels_workload, repeats=2)
+    ted = measure_ted()
+    partition = measure_partition()
+    save_and_print(
+        results_dir, "kernels", scale,
+        render(end_to_end, probe, ted, partition) + "\n",
+    )
+
+
+def test_smoke_guard_kernels_backend(kernels_workload):
+    """CI regression guard: live numpy/python ratio vs the snapshot.
+
+    Ratios, not absolute seconds, so the guard survives runner hardware
+    differences: the numpy backend has regressed when its live
+    end-to-end ratio falls below half the committed one.
+    """
+    if not SNAPSHOT_PATH.exists():
+        pytest.skip("no committed BENCH_PR9.json")
+    committed = json.loads(SNAPSHOT_PATH.read_text())
+    metrics = measure_end_to_end(kernels_workload, repeats=2)
+    for tau in TAUS:
+        recorded = committed["end_to_end"][str(tau)]["ratio"]
+        live = metrics[tau]["ratio"]
+        assert live >= recorded / 2, (
+            f"tau={tau}: numpy backend regressed: live python/numpy ratio "
+            f"{live:.2f} < committed {recorded:.2f} / 2"
+        )
+
+
+def write_snapshot() -> dict:
+    import numpy
+
+    count = KERNELS_WORKLOAD_COUNTS["smoke"]
+    trees = make_kernels_workload(count)
+    end_to_end = measure_end_to_end(trees)
+    probe = measure_probe(trees)
+    ted = measure_ted()
+    partition = measure_partition()
+    snapshot = {
+        "description": (
+            "Kernel backend comparison (PR 9): pure-python reference vs "
+            "numpy flat-array kernels, end to end and per kernel, on the "
+            "duplicate-heavy kernels workload (smoke scale). Regenerate "
+            "with: python benchmarks/bench_kernels.py --snapshot"
+        ),
+        "numpy_version": numpy.__version__,
+        "workload": {
+            "count": count,
+            **KERNELS_WORKLOAD_SHAPE,
+            "seed": KERNELS_WORKLOAD_SEED,
+        },
+        "end_to_end": {str(tau): m for tau, m in end_to_end.items()},
+        "kernels": {
+            "probe": probe,
+            "banded_ted_vector_forced": {
+                str(tau): m for tau, m in ted.items()
+            },
+            "partition": partition,
+        },
+        "caveats": [
+            "Single-CPU container; ratios are wall-clock best-of-3 on one "
+            "core and carry run-to-run noise of a few percent.",
+            "End-to-end ratios are ~1x at tau <= 3: verification dominates "
+            "these workloads and BandedTed intentionally runs those bands "
+            "scalar (the row-sliced vector DP measured 0.05-0.15x at every "
+            "band up to 289 - per-row ufunc dispatch dominates narrow "
+            "rows), so the numpy backend's win is confined to probe "
+            "windows of ~a hundred entries or more.",
+            "Both backends are bit-identical on every measurement here and "
+            "under the tests/kernels/ matrix; the backend choice is a "
+            "speed knob only.",
+        ],
+    }
+    SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(render(end_to_end, probe, ted, partition))
+    print(f"wrote {SNAPSHOT_PATH}")
+    return snapshot
+
+
+if __name__ == "__main__":
+    if "--snapshot" in sys.argv:
+        write_snapshot()
+    else:
+        print(__doc__)

@@ -1,10 +1,21 @@
 """Setuptools entry point.
 
-Metadata lives in setup.cfg; this stub exists so the legacy editable
-install path (`pip install -e .` without PEP 517 build isolation, or
-`python setup.py develop`) works in offline environments that lack the
-`wheel` package.
-"""
-from setuptools import setup
+This stub keeps the legacy editable install path (`pip install -e .`
+without PEP 517 build isolation, or `python setup.py develop`) working
+in offline environments that lack the `wheel` package.
 
-setup()
+The core library is dependency-free pure python.  ``pip install
+repro[fast]`` additionally pulls in numpy for the optional flat-array
+kernel backend (see the "Backend selection" section of ``repro.api``);
+without it every ``backend="auto"`` run silently uses the bit-identical
+pure-python kernels.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    extras_require={"fast": ["numpy"]},
+)

@@ -308,6 +308,14 @@ class Verifier:
         per-tree annotation/feature work amortizes across queries at
         different thresholds; the accepted pairs and distances are
         unaffected.
+    backend:
+        Kernel backend for the tau-banded DP: ``"python"`` (the
+        reference :func:`~repro.ted.cutoff.zhang_shasha_bounded`),
+        ``"numpy"`` (:class:`repro.ted` rows vectorized via
+        :class:`repro.kernels.ted.BandedTed`, which itself falls back to
+        the scalar DP below its band-width crossover) or ``"auto"``.
+        Accepted pairs and reported distances are identical either way;
+        :attr:`backend` holds the resolved name for stats reporting.
     """
 
     def __init__(
@@ -319,6 +327,7 @@ class Verifier:
         bag_bounds: "bool | Sequence[str]" = True,
         exact_distances: bool = True,
         caches: Optional[VerifierCaches] = None,
+        backend: str = "auto",
     ):
         if bag_bounds is True:
             bag_bounds = ("labels", "degrees", "branches")
@@ -330,6 +339,16 @@ class Verifier:
         self._traversal_bound = traversal_bound
         self._bag_bounds = frozenset(bag_bounds)
         self._exact_distances = exact_distances
+        from repro.kernels import resolve_backend
+        from repro.params import check_backend
+
+        self.backend = resolve_backend(check_backend(backend))
+        if self.backend == "numpy":
+            from repro.kernels.ted import BandedTed
+
+            self._bounded = BandedTed()
+        else:
+            self._bounded = zhang_shasha_bounded
         if caches is None:
             caches = VerifierCaches()
         self._annotated = caches.annotated
@@ -406,7 +425,7 @@ class Verifier:
                 self.stats_ub_accepted += 1
                 if not self._exact_distances:
                     return upper
-                value = zhang_shasha_bounded(
+                value = self._bounded(
                     self._annotation(i), self._annotation(j), upper
                 )
                 self.stats_ted_calls += 1
@@ -437,7 +456,7 @@ class Verifier:
                 return None
             x1, x2 = self._oriented(i, j)
             self.stats_ted_calls += 1
-            value = zhang_shasha_bounded(x1, x2, tau)
+            value = self._bounded(x1, x2, tau)
             if value is None:
                 self.stats_ted_early_exits += 1
             return value

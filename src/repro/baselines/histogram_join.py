@@ -27,12 +27,14 @@ __all__ = ["histogram_join"]
 
 
 def histogram_join(
-    trees: Sequence[Tree], tau: int, workers: int = 1
+    trees: Sequence[Tree], tau: int, workers: int = 1, backend: str = "auto"
 ) -> JoinResult:
     """Similarity self-join with label and degree histogram filters.
 
     ``workers > 1`` verifies candidates in parallel through the shared
-    verification pool (identical pairs and distances).
+    verification pool (identical pairs and distances); ``backend``
+    selects the verification DP kernel (identical results, reported in
+    ``stats.extra["backend"]``).
 
     >>> a = Tree.from_bracket("{a{b}{c}}")
     >>> b = Tree.from_bracket("{a{b}}")
@@ -45,8 +47,9 @@ def histogram_join(
     # The verifier skips the label/degree bounds this screen applies and
     # still adds the binary-branch and traversal bounds the screen lacks.
     # One options dict feeds both the inline and the worker-side verifiers.
-    verifier_options = {"bag_bounds": ("branches",)}
+    verifier_options = {"bag_bounds": ("branches",), "backend": backend}
     verifier = Verifier(trees, tau, **verifier_options)
+    stats.extra["backend"] = verifier.backend
     deferred = (
         DeferredVerification(workers, options=verifier_options)
         if workers > 1 else None

@@ -1,0 +1,54 @@
+"""Numpy partition kernel: span fills as sliced ndarray assignments.
+
+:func:`repro.core.partition.extract_partition` materializes its greedy
+cuts in two steps: a sequential pass over the internal nodes (inherently
+order-dependent — each detachment zeroes the running ``remaining`` count
+its ancestors see — and kept in python), then a *membership resolution*
+step that turns the recorded ``(root, size)`` binary-postorder spans into
+per-subgraph bitmaps with slice fills and nested-span punch-outs.
+
+This kernel replaces the second step.  Binary subtree spans are laminar,
+and a node detached by several cuts belongs to the earliest (innermost)
+one — so painting the spans over an owner array in *reverse* order makes
+exactly the innermost span win, and one broadcast equality against the
+cut indices yields every bitmap at once:
+
+    owner[lo_k : b_k + 1] = k   for k = ncuts-1 .. 0   (residual = ncuts)
+    rows = (owner == arange(ncuts + 1)[:, None])
+
+The rows convert back to the ``bytearray`` bitmaps
+:class:`~repro.core.subgraph.Subgraph` requires (0/1 bytes, slot 0
+unused), byte-for-byte what the reference splices produce.
+
+The random ablation strategy keeps its python path: its component
+assignment is a preorder walk with per-node parent lookups, not a span
+fill, and it is not on the MaxMinSize hot path.
+"""
+
+from __future__ import annotations
+
+__all__ = ["partition_bitmaps_numpy"]
+
+
+def partition_bitmaps_numpy(np, size, cut_spans):
+    """``[(root, bytearray bitmap)]`` for the cuts plus the residual.
+
+    Mirrors the splice loop in ``extract_partition`` exactly: one entry
+    per cut span in recorded order, then the residual rooted at the tree
+    root (binary postorder number ``size``).
+    """
+    ncuts = len(cut_spans)
+    owner = np.full(size + 1, ncuts, dtype=np.int64)
+    owner[0] = -1  # slot 0 is unused in every bitmap
+    for k in range(ncuts - 1, -1, -1):
+        b, total = cut_spans[k]
+        owner[b - total + 1 : b + 1] = k
+    rows = (owner == np.arange(ncuts + 1, dtype=np.int64)[:, None]).astype(
+        np.uint8
+    )
+    bitmaps = [
+        (b, bytearray(rows[k].tobytes()))
+        for k, (b, total) in enumerate(cut_spans)
+    ]
+    bitmaps.append((size, bytearray(rows[ncuts].tobytes())))
+    return bitmaps

@@ -1,0 +1,260 @@
+"""Numpy probe kernel: bucket-window intersection over whole buckets.
+
+The reference loop (:func:`repro.core.join._probe_index`) visits every
+index entry of every probed bucket window one at a time: a window bisect,
+then per entry a paper-window test, a checked-set lookup and possibly a
+bitmap match walk.  On duplicate-heavy collections — normalized corpora
+where thousands of trees are near-copies — a probing node's window holds
+hundreds of entries, almost all of which resolve to "pair already
+checked".  This kernel keeps the outer loop (nodes × twig keys × sizes:
+dict gets and int arithmetic, already cheap) and vectorizes the
+per-window work:
+
+- the paper's strict window (``|p - pk| <= half``) is one boolean mask
+  over the bucket's cached postorder/half-width arrays;
+- the checked-pair dedup is one gather from a per-driver ``seen`` byte
+  buffer indexed by owner (sound because no pair involving the probing
+  tree exists in ``checked`` when its probe starts — the batch loop, the
+  shard workers and the streaming engine all insert/reverse-probe
+  strictly *after* the forward probe), and the skipped-entry count is
+  one ``sum()``;
+- only the surviving entries — typically a handful — fall through to the
+  per-entry :meth:`~repro.core.subgraph.Subgraph.matches_at_number` walk,
+  in the reference loop's exact ascending order, so the candidate list,
+  the checked set and every counter come out bit-identical.
+
+Windows smaller than :data:`SMALL_WINDOW` run the scalar reference body
+instead — ndarray dispatch and fancy-indexing setup exceed the loop cost
+there (measured in ``benchmarks/bench_kernels.py``: the crossover sits
+around a hundred entries on CPython + numpy; see ``BENCH_PR9.json``) —
+so sparse workloads never regress.
+
+The ``seen`` buffer is a ``bytearray`` (python scalar reads/writes stay
+C-speed in the scalar body) wrapped zero-copy by ``np.frombuffer`` for
+the vector gathers.  Bucket arrays (postorders, half-widths, owners as
+one int row each) are cached on the bucket (``_TwigBucket.arrays``) and
+invalidated by the index on every insert/re-sort, mirroring the existing
+``posts`` cache.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.core.index import InvertedSizeIndex, PostorderFilter
+from repro.core.intern import TWIG_LABEL_SHIFT, TWIG_LEFT_SHIFT
+from repro.core.subgraph import MatchSemantics
+from repro.core.treecache import TreeCache
+from repro.kernels import get_numpy
+
+__all__ = ["ProbeScratch", "probe_index_numpy", "SMALL_WINDOW"]
+
+# Below this many window entries the scalar reference body runs: the
+# fixed cost of slicing/masking/gathering ndarrays exceeds a python loop
+# until windows reach the order of a hundred entries (measured, see
+# module docstring).  Any value keeps results bit-identical; this is
+# purely a speed crossover.
+SMALL_WINDOW = 96
+
+
+class ProbeScratch:
+    """Per-driver reusable buffers for the numpy probe kernel.
+
+    ``seen[j]`` mirrors "the pair (probing tree, j) is in ``checked``"
+    for the duration of one probe; it is reset via the touched-owner
+    list afterwards (O(candidates), not O(trees)).  The buffer grows
+    geometrically so the streaming engine's ever-growing collection
+    never reallocates per arrival.
+    """
+
+    __slots__ = ("np", "seen", "seen_np")
+
+    def __init__(self, np_module=None):
+        self.np = np_module if np_module is not None else get_numpy()
+        self.seen = bytearray(0)
+        self.seen_np = self.np.frombuffer(self.seen, dtype=self.np.uint8)
+
+    def ensure(self, count: int) -> None:
+        """Grow the ``seen`` buffer (and its ndarray view) to ``count``."""
+        if len(self.seen) < count:
+            self.seen = bytearray(max(count, 2 * len(self.seen)))
+            self.seen_np = self.np.frombuffer(self.seen, dtype=self.np.uint8)
+
+
+def _bucket_arrays(bucket, np):
+    """Cached ``(posts, halves, owners)`` int64 rows of one bucket."""
+    arrays = bucket.arrays
+    if arrays is None:
+        entries = bucket.entries
+        count = len(entries)
+        posts = np.empty(count, dtype=np.int64)
+        halves = np.empty(count, dtype=np.int64)
+        owners = np.empty(count, dtype=np.int64)
+        for k, (pk, half, subgraph) in enumerate(entries):
+            posts[k] = pk
+            halves[k] = half
+            owners[k] = subgraph.owner
+        arrays = (posts, halves, owners)
+        bucket.arrays = arrays
+    return arrays
+
+
+def probe_index_numpy(
+    index: InvertedSizeIndex,
+    cache: TreeCache,
+    i: int,
+    n: int,
+    tau: int,
+    min_size: int,
+    semantics: MatchSemantics,
+    checked: set,
+    candidates: list,
+    counters,
+    numbering: str,
+    scratch: ProbeScratch,
+    tree_count: int,
+) -> None:
+    """Drop-in replacement for :func:`repro.core.join._probe_index`.
+
+    Same candidate list (order included), same ``checked`` mutations,
+    same counter totals — property-tested in ``tests/kernels/``.
+    """
+    sizes = [
+        size
+        for size in range(max(min_size, n - tau), n + 1)
+        if (size_index := index.for_size(size)) is not None and size_index.count
+    ]
+    if not sizes:
+        return
+    np = scratch.np
+    scratch.ensure(tree_count)
+    seen = scratch.seen
+    seen_np = scratch.seen_np
+    touched: list[int] = []
+    merged = index.merged
+    mode = index.postorder_filter
+    off = mode is PostorderFilter.OFF
+    strict_window = mode is PostorderFilter.PAPER
+    labels = cache.labels
+    left = cache.left
+    right = cache.right
+    positions = cache.general_post if numbering == "general" else range(n + 1)
+    strict = semantics is MatchSemantics.PAPER
+    label_shift = TWIG_LABEL_SHIFT
+    left_shift = TWIG_LEFT_SHIFT
+    probe_hits = 0
+    match_tests = 0
+    match_hits = 0
+    dedup_skips = 0
+    for b in range(1, n + 1):
+        p = positions[b]
+        label = labels[b]
+        child = left[b]
+        ll = labels[child] if child else 0
+        child = right[b]
+        rl = labels[child] if child else 0
+        # Identical key construction and dedup to the reference loop
+        # (see _probe_index): only the distinct packed keys survive.
+        full_key = (label << label_shift) | (ll << left_shift) | rl
+        bare_key = label << label_shift
+        if ll:
+            if rl:
+                twig_keys = (full_key, full_key - rl, bare_key | rl, bare_key)
+            else:
+                twig_keys = (full_key, bare_key)
+        elif rl:
+            twig_keys = (full_key, bare_key)
+        else:
+            twig_keys = (full_key,)
+        lo = p - tau
+        hi = p + tau
+        for twig_key in twig_keys:
+            by_size = merged.get(twig_key)
+            if by_size is None:
+                continue
+            for size in sizes:
+                bucket = by_size.get(size)
+                if bucket is None:
+                    continue
+                entries = bucket.entries
+                if off:
+                    start = 0
+                    stop = len(entries)
+                else:
+                    if bucket.dirty:
+                        bucket._ensure_sorted()
+                    posts = bucket.posts
+                    start = bisect_left(posts, lo)
+                    stop = bisect_right(posts, hi, start)
+                    if start == stop:
+                        continue
+                if stop - start < SMALL_WINDOW:
+                    # Scalar reference body: cheaper than ndarray
+                    # dispatch on short windows, byte-for-byte the same
+                    # behaviour (seen mirrors checked for pairs with i).
+                    for k in range(start, stop):
+                        pk, half, subgraph = entries[k]
+                        if strict_window and not -half <= p - pk <= half:
+                            continue
+                        probe_hits += 1
+                        j = subgraph.owner
+                        key = (j, i) if j < i else (i, j)
+                        if key in checked:
+                            dedup_skips += 1
+                            continue
+                        match_tests += 1
+                        if subgraph.matches_at_number(cache, b, strict):
+                            match_hits += 1
+                            checked.add(key)
+                            seen[j] = 1
+                            touched.append(j)
+                            candidates.append(j)
+                    continue
+                posts_a, halves_a, owners_a = _bucket_arrays(bucket, np)
+                if strict_window:
+                    diff = p - posts_a[start:stop]
+                    mask = (diff <= halves_a[start:stop]) & (
+                        diff >= -halves_a[start:stop]
+                    )
+                    hits = np.flatnonzero(mask)
+                    if not hits.size:
+                        continue
+                    probe_hits += hits.size
+                    window_owners = owners_a[start:stop][hits]
+                    entry_numbers = hits + start
+                else:
+                    probe_hits += stop - start
+                    window_owners = owners_a[start:stop]
+                    entry_numbers = None
+                already = seen_np[window_owners]
+                skipped = int(already.sum())
+                dedup_skips += skipped
+                if skipped == window_owners.shape[0]:
+                    continue
+                if entry_numbers is None:
+                    fresh = np.flatnonzero(already == 0) + start
+                else:
+                    fresh = entry_numbers[already == 0]
+                # Ascending entry order, exactly the reference loop; a
+                # same-window entry whose owner matched above it is a
+                # dedup skip (seen re-check), a failed match leaves the
+                # owner unseen so its later entries still test.
+                for k in fresh.tolist():
+                    subgraph = entries[k][2]
+                    j = subgraph.owner
+                    if seen[j]:
+                        dedup_skips += 1
+                        continue
+                    match_tests += 1
+                    if subgraph.matches_at_number(cache, b, strict):
+                        match_hits += 1
+                        checked.add((j, i) if j < i else (i, j))
+                        seen[j] = 1
+                        touched.append(j)
+                        candidates.append(j)
+    for j in touched:
+        seen[j] = 0
+    counters.probe_hits += probe_hits
+    counters.match_tests += match_tests
+    counters.match_hits += match_hits
+    counters.dedup_skips += dedup_skips

@@ -98,7 +98,13 @@ def _json_bytes(payload) -> bytes:
 
 
 def _config_fields(config) -> dict:
-    """The preparation-keying config fields, as JSON-safe strings."""
+    """The preparation-keying config fields, as JSON-safe strings.
+
+    ``backend`` is deliberately absent: the kernel backend never changes
+    the prepared artifacts (both backends are bit-identical), and a
+    snapshot written on a machine with numpy must load on one without
+    it.  Loaded configs re-resolve ``backend="auto"`` per process.
+    """
     return {
         "semantics": getattr(config.semantics, "value", config.semantics),
         "postorder_filter": getattr(

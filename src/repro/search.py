@@ -219,7 +219,8 @@ class SimilaritySearcher:
             # entries keep reading/writing the shared dicts directly.
             caches = _QueryLocalCaches(shared, query_index)
         verifier = Verifier(
-            list(self.trees) + [query], self.tau, caches=caches
+            list(self.trees) + [query], self.tau, caches=caches,
+            backend=self.config.backend,
         )
         hits = []
         for i in sorted(candidates):

@@ -1,0 +1,99 @@
+"""Backend resolution, validation, and the numpy-absent fallback."""
+
+import builtins
+
+import pytest
+
+import repro.kernels as kernels
+from repro.core.join import PartSJConfig
+from repro.errors import InvalidParameterError
+from repro.kernels import numpy_available, resolve_backend
+from repro.params import check_backend
+
+
+@pytest.fixture
+def numpy_absent(monkeypatch):
+    """Force the kernels package to see no numpy, restoring afterwards."""
+    real_import = builtins.__import__
+
+    def blocked(name, *args, **kwargs):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy masked by test")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", blocked)
+    kernels._reset_numpy_probe()
+    yield
+    monkeypatch.undo()
+    kernels._reset_numpy_probe()
+
+
+class TestCheckBackend:
+    def test_accepts_known_backends(self):
+        for backend in ("auto", "python", "numpy"):
+            assert check_backend(backend) == backend
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            check_backend("cython")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(InvalidParameterError):
+            check_backend(7)
+
+    def test_config_validates_backend(self):
+        with pytest.raises(InvalidParameterError):
+            PartSJConfig(backend="fortran").resolved()
+
+
+class TestResolveBackend:
+    def test_explicit_backends_pass_through(self):
+        assert resolve_backend("python") == "python"
+        if numpy_available():
+            assert resolve_backend("numpy") == "numpy"
+
+    def test_auto_resolves_to_concrete(self):
+        assert resolve_backend("auto") in ("python", "numpy")
+
+    def test_resolved_config_is_concrete(self):
+        cfg = PartSJConfig().resolved()
+        assert cfg.backend in ("python", "numpy")
+
+    def test_auto_prefers_numpy_when_available(self):
+        if not numpy_available():
+            pytest.skip("numpy not installed")
+        assert resolve_backend("auto") == "numpy"
+
+
+class TestNumpyAbsentFallback:
+    def test_auto_falls_back_to_python(self, numpy_absent):
+        assert not numpy_available()
+        assert resolve_backend("auto") == "python"
+        assert PartSJConfig(backend="auto").resolved().backend == "python"
+
+    def test_explicit_numpy_raises(self, numpy_absent):
+        with pytest.raises(InvalidParameterError, match="numpy"):
+            resolve_backend("numpy")
+        with pytest.raises(InvalidParameterError, match="numpy"):
+            PartSJConfig(backend="numpy").resolved()
+
+    def test_join_runs_pure_python(self, numpy_absent, sample_forest):
+        from repro.core.join import partsj_join
+
+        result = partsj_join(sample_forest, 2, PartSJConfig(backend="auto"))
+        assert result.stats.extra["backend"] == "python"
+
+    def test_probe_is_cached_and_resettable(self, numpy_absent):
+        # Two calls under the mask hit the cached probe result; after the
+        # fixture restores the import, a reset probe sees numpy again.
+        assert not numpy_available()
+        assert not numpy_available()
+
+
+def test_backend_reported_is_resolved(sample_forest):
+    from repro.core.join import partsj_join
+
+    result = partsj_join(sample_forest, 1, PartSJConfig(backend="auto"))
+    assert result.stats.extra["backend"] != "auto"
+    expected = "numpy" if numpy_available() else "python"
+    assert result.stats.extra["backend"] == expected

@@ -1,0 +1,78 @@
+"""The backend must key every session cache (results and preparations)."""
+
+import pytest
+
+from repro.core.join import PartSJConfig
+from repro.kernels import numpy_available
+from repro.session import TreeCollection
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed"
+)
+
+
+@pytest.fixture
+def collection(sample_forest):
+    return TreeCollection.from_trees(sample_forest)
+
+
+class TestResultCacheKeying:
+    def test_backends_never_share_cached_results(self, collection):
+        """Regression: a warm python result must not serve a numpy query.
+
+        Results are bit-identical, but the reported backend (and any
+        future backend-dependent diagnostics) must come from the run
+        that actually executed.
+        """
+        first = collection.join(2, backend="python").run()
+        assert first.stats.extra["backend"] == "python"
+        second = collection.join(2, backend="numpy").run()
+        assert second.stats.extra["backend"] == "numpy"
+        # Both live in the cache independently now.
+        assert collection.join(2, backend="python").run() is first
+        assert collection.join(2, backend="numpy").run() is second
+        pairs = lambda r: [(p.i, p.j, p.distance) for p in r.pairs]  # noqa: E731
+        assert pairs(first) == pairs(second)
+
+    def test_auto_and_resolved_share_one_entry(self, collection):
+        """"auto" resolves before keying: it equals its concrete backend."""
+        resolved = PartSJConfig(backend="auto").resolved().backend
+        first = collection.join(2, backend="auto").run()
+        assert collection.join(2, backend=resolved).run() is first
+
+
+class TestPrepKeying:
+    def test_prep_key_includes_backend(self, collection):
+        py = PartSJConfig(backend="python").resolved()
+        np_ = PartSJConfig(backend="numpy").resolved()
+        key_py = collection._prep_key(2, py)
+        key_np = collection._prep_key(2, np_)
+        assert key_py != key_np
+        assert "python" in key_py and "numpy" in key_np
+
+    def test_prepare_is_per_backend(self, collection):
+        collection.prepare(2, PartSJConfig(backend="python"))
+        assert collection.is_prepared(2, PartSJConfig(backend="python"))
+        assert not collection.is_prepared(2, PartSJConfig(backend="numpy"))
+
+
+class TestExplainReportsBackend:
+    def test_join_plan_filter_backend(self, collection):
+        plan = collection.join(2, backend="numpy")
+        assert plan.explain()["filter"]["backend"] == "numpy"
+
+    def test_default_is_resolved_not_auto(self, collection):
+        plan = collection.join(2)
+        assert plan.explain()["filter"]["backend"] in ("python", "numpy")
+
+
+def test_snapshot_roundtrip_reresolves_backend(collection, tmp_path):
+    """Snapshots stay backend-portable: the persisted config omits the
+    backend, so a snapshot written with numpy loads on a numpy-less
+    machine and re-resolves per process."""
+    collection.prepare(2, PartSJConfig(backend="numpy"))
+    path = tmp_path / "col.repro-idx"
+    collection.save(str(path))
+    loaded = TreeCollection.load(str(path))
+    result = loaded.join(2).run()
+    assert result.stats.extra["backend"] in ("python", "numpy")

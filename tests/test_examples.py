@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "session_reuse",
     "session_persist",
     "session_observe",
+    "session_backend",
     "xml_near_duplicates",
     "rna_motifs",
     "sentence_paraphrases",
