@@ -57,6 +57,7 @@ from repro.datasets import (
 from repro.errors import (
     EditOperationError,
     IngestError,
+    InvalidInputTypeError,
     InvalidParameterError,
     NotPartitionableError,
     PersistenceError,
@@ -65,9 +66,11 @@ from repro.errors import (
     SnapshotIntegrityError,
     StaleSnapshotError,
     TaskTimeoutError,
+    TraceFormatError,
     TreeFormatError,
     WALCorruptError,
     WorkerFailureError,
+    WorkerStateError,
 )
 from repro.obs import (
     MetricsRegistry,
@@ -172,9 +175,12 @@ __all__ = [
     "ReproError",
     "TreeFormatError",
     "InvalidParameterError",
+    "InvalidInputTypeError",
+    "TraceFormatError",
     "EditOperationError",
     "NotPartitionableError",
     "WorkerFailureError",
+    "WorkerStateError",
     "TaskTimeoutError",
     "IngestError",
 ]

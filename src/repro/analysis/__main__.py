@@ -1,0 +1,13 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+import sys
+
+from repro.analysis.cli import main
+
+try:
+    code = main()
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe: not an error, exit quietly.
+    sys.stderr.close()
+    code = 0
+sys.exit(code)

@@ -1,0 +1,106 @@
+"""``python -m repro.analysis`` — run the invariant linter.
+
+Exit status is the contract: 0 when the scanned tree is clean, 1 when
+any finding survives suppression, 2 on usage errors.  ``--json`` emits
+the full report as one JSON object for CI consumption.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.engine import META_RULES, analyze
+from repro.analysis.rules import all_rules
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _default_path() -> str:
+    """The installed ``repro`` package: lint ourselves when no path given."""
+    return str(Path(__file__).resolve().parent.parent)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST invariant linter: determinism, cache-key completeness, "
+            "pool-boundary safety, error contract, counter registry."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="RULE-ID",
+        help="run only the named rule (repeatable)",
+    )
+    parser.add_argument(
+        "--path", dest="path_filter", metavar="SUBSTRING",
+        help="keep only files whose path contains SUBSTRING",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the report as a JSON object",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list rule ids and what they enforce, then exit",
+    )
+    return parser
+
+
+def _list_rules(as_json: bool) -> str:
+    rules = all_rules()
+    if as_json:
+        return json.dumps({
+            "rules": [
+                {"id": rule.id, "summary": rule.summary,
+                 "suppression": rule.suppression}
+                for rule in rules
+            ],
+            "meta": dict(META_RULES),
+        }, indent=2, sort_keys=True)
+    width = max(len(rule.id) for rule in rules)
+    lines = [f"{rule.id:<{width}}  {rule.summary}" for rule in rules]
+    lines.append("")
+    lines.append("meta findings (not suppressible):")
+    meta_width = max(len(name) for name in META_RULES)
+    lines.extend(
+        f"{name:<{meta_width}}  {what}" for name, what in META_RULES.items()
+    )
+    lines.append("")
+    lines.append(f"suppress one deliberate violation inline with "
+                 f"{all_rules()[0].suppression!r}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules(args.json))
+        return 0
+    paths = args.paths or [_default_path()]
+    try:
+        report = analyze(
+            paths, rule_ids=args.rules, path_filter=args.path_filter
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,324 @@
+"""Rule engine of the invariant linter: file walk, findings, pragmas.
+
+The engine is deliberately small and dependency-free: it reads python
+sources, parses them with :mod:`ast`, hands each file to every *per-file*
+rule and the whole set to every *project* rule (the cross-module checks,
+e.g. cache-key completeness), then applies suppression pragmas and
+reports what is left as :class:`Finding` objects.
+
+Suppression
+-----------
+A violation that is deliberate is declared inline::
+
+    number_of = {id(node): b for ...}  # repro: allow[determinism] never iterated
+
+The pragma silences exactly one rule on exactly the line it sits on (the
+line a finding anchors to — for a multi-line statement, the statement's
+first line).  Pragmas are themselves linted:
+
+- an unknown rule id inside ``allow[...]`` is a finding (rule
+  ``pragma``), so typos cannot silently disable nothing;
+- a pragma that suppressed no finding is a finding (rule
+  ``unused-pragma``), so stale exemptions are garbage-collected the
+  moment the code they excused goes away.
+
+Both meta findings are unsuppressible by design.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "Finding",
+    "Pragma",
+    "FileContext",
+    "Project",
+    "Report",
+    "analyze",
+    "iter_python_files",
+    "META_RULES",
+]
+
+# One pragma token: hash, then "repro: allow[rule-id]".  Several may sit on
+# one line; each names exactly one rule (comma lists are rejected by the
+# rule-id grammar below, surfacing as an unknown-id finding).
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+_RULE_ID_RE = re.compile(r"^[a-z][a-z0-9-]*$")
+
+# Findings the engine itself emits (not suppressible, not filterable off
+# by accident: --rule keeps them unless explicitly excluded).
+META_RULES = {
+    "parse": "the file does not parse as python at all",
+    "pragma": "a suppression pragma names an unknown rule id",
+    "unused-pragma": "a suppression pragma suppressed nothing",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation at ``file:line``."""
+
+    file: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Pragma:
+    """One ``# repro: allow[rule]`` occurrence."""
+
+    line: int
+    rule: str
+    used: bool = False
+
+
+class FileContext:
+    """One parsed source file as the rules see it."""
+
+    def __init__(self, path: Path, display: str, source: str):
+        self.path = path
+        self.display = display
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree: Optional[ast.AST] = None
+        self.parse_error: Optional[tuple[int, str]] = None
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as exc:
+            self.parse_error = (exc.lineno or 1, exc.msg or "syntax error")
+        # Pragmas live in COMMENT tokens only — a pragma example quoted
+        # inside a docstring is documentation, not a suppression.
+        self.pragmas: list[Pragma] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                for match in _PRAGMA_RE.finditer(token.string):
+                    self.pragmas.append(
+                        Pragma(token.start[0], match.group(1).strip())
+                    )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            pass  # unparseable file: the "parse" finding already covers it
+        # Directory segments of the path, for scope decisions ("is this
+        # file under core/?").  The file name itself is excluded.
+        self.segments = frozenset(
+            part.lower() for part in Path(display).parts[:-1]
+        )
+
+    def in_any(self, segments: frozenset[str]) -> bool:
+        """Whether the file sits under any of the named directories."""
+        return bool(self.segments & segments)
+
+
+class Project:
+    """Every scanned file, for the cross-module rules."""
+
+    def __init__(self, contexts: Sequence[FileContext]):
+        self.contexts = [ctx for ctx in contexts if ctx.tree is not None]
+
+    def classes(self, name: str) -> list[tuple[FileContext, ast.ClassDef]]:
+        """Every top-level-or-nested class definition named ``name``."""
+        found = []
+        for ctx in self.contexts:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef) and node.name == name:
+                    found.append((ctx, node))
+        return found
+
+    def functions(self, name: str) -> list[tuple[FileContext, ast.FunctionDef]]:
+        """Every function/method definition named ``name``."""
+        found = []
+        for ctx in self.contexts:
+            for node in ast.walk(ctx.tree):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name == name
+                ):
+                    found.append((ctx, node))
+        return found
+
+
+@dataclass
+class Report:
+    """The outcome of one :func:`analyze` run."""
+
+    files: int
+    findings: list[Finding]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        return {
+            "files": self.files,
+            "findings": [f.as_dict() for f in self.findings],
+            "clean": self.clean,
+        }
+
+    def render(self) -> str:
+        if self.clean:
+            return f"clean: {self.files} files, 0 findings"
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding"
+            f"{'' if len(self.findings) == 1 else 's'} in {self.files} files"
+        )
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files accepted verbatim),
+    sorted for deterministic output; caches and hidden dirs skipped."""
+    out: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            out.append(path)
+            continue
+        if not path.is_dir():
+            raise InvalidParameterError(f"no such file or directory: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                continue
+            out.append(candidate)
+    # De-duplicate while keeping order (a file named twice lints once).
+    seen = set()
+    unique = []
+    for path in out:
+        key = str(path.resolve())
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def _display(path: Path) -> str:
+    """The path as findings print it: relative to cwd when possible."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze(
+    paths: Iterable[str | Path],
+    rules: Optional[Sequence] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+    path_filter: Optional[str] = None,
+) -> Report:
+    """Run the invariant rules over every python file under ``paths``.
+
+    ``rules`` defaults to the full registered set
+    (:func:`repro.analysis.rules.all_rules`); ``rule_ids`` keeps only the
+    named rules (meta findings for those rules included); ``path_filter``
+    keeps only files whose display path contains the substring.
+
+    Returns a :class:`Report` whose findings are sorted by
+    ``(file, line, rule)``.  Pragma bookkeeping — unknown ids, unused
+    pragmas — is part of the report; see the module docstring.
+    """
+    if rules is None:
+        from repro.analysis.rules import all_rules
+
+        rules = all_rules()
+    rules = list(rules)
+    known_ids = {rule.id for rule in rules}
+    if rule_ids:
+        rule_ids = list(rule_ids)
+        unknown = sorted(set(rule_ids) - known_ids - set(META_RULES))
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown rule id(s) {unknown}; known: "
+                f"{sorted(known_ids | set(META_RULES))}"
+            )
+        selected = [rule for rule in rules if rule.id in rule_ids]
+        # Meta findings stay on under --rule filtering (a parse failure or
+        # a bogus pragma is never "out of scope"); unused-pragma judgment
+        # still requires the pragma's own rule to have been selected.
+        selected_ids = set(rule_ids) | set(META_RULES)
+    else:
+        selected = rules
+        selected_ids = known_ids | set(META_RULES)
+
+    files = iter_python_files(paths)
+    if path_filter:
+        files = [f for f in files if path_filter in _display(f)]
+    contexts: list[FileContext] = []
+    findings: list[Finding] = []
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            source = path.read_text(encoding="utf-8", errors="replace")
+        ctx = FileContext(path, _display(path), source)
+        contexts.append(ctx)
+        if ctx.parse_error is not None and "parse" in selected_ids:
+            line, message = ctx.parse_error
+            findings.append(Finding(ctx.display, line, "parse", message))
+
+    project = Project(contexts)
+    for rule in selected:
+        for ctx in project.contexts:
+            findings.extend(rule.check_file(ctx))
+        findings.extend(rule.check_project(project))
+
+    by_display = {ctx.display: ctx for ctx in contexts}
+    kept: list[Finding] = []
+    for finding in findings:
+        ctx = by_display.get(finding.file)
+        suppressed = False
+        if ctx is not None and finding.rule not in META_RULES:
+            for pragma in ctx.pragmas:
+                if pragma.line == finding.line and pragma.rule == finding.rule:
+                    pragma.used = True
+                    suppressed = True
+        if not suppressed:
+            kept.append(finding)
+
+    for ctx in contexts:
+        for pragma in ctx.pragmas:
+            if pragma.rule not in known_ids or not _RULE_ID_RE.match(pragma.rule):
+                if "pragma" in selected_ids:
+                    kept.append(Finding(
+                        ctx.display, pragma.line, "pragma",
+                        f"suppression pragma names unknown rule id "
+                        f"{pragma.rule!r}",
+                    ))
+            elif (
+                pragma.rule in selected_ids
+                and not pragma.used
+                and "unused-pragma" in selected_ids
+            ):
+                # A pragma for a rule that did not run is not judged:
+                # only evaluated rules can prove a pragma unused.
+                kept.append(Finding(
+                    ctx.display, pragma.line, "unused-pragma",
+                    f"pragma allow[{pragma.rule}] suppressed nothing",
+                ))
+
+    kept.sort()
+    return Report(files=len(contexts), findings=kept)

@@ -1,0 +1,41 @@
+"""The rule set.  ``all_rules()`` is the engine's default battery."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import CLOCK_EXEMPT, DETERMINISM_SCOPE, Rule
+from repro.analysis.rules.cache_keys import (
+    PREP_KEY_EXCLUDED,
+    SNAPSHOT_EXCLUDED,
+    CacheKeyRule,
+)
+from repro.analysis.rules.counters import CounterRegistryRule
+from repro.analysis.rules.determinism import DeterminismRule, WallClockRule
+from repro.analysis.rules.error_contract import ErrorContractRule
+from repro.analysis.rules.pool_safety import PoolBoundaryRule
+
+__all__ = [
+    "Rule",
+    "all_rules",
+    "DETERMINISM_SCOPE",
+    "CLOCK_EXEMPT",
+    "PREP_KEY_EXCLUDED",
+    "SNAPSHOT_EXCLUDED",
+    "DeterminismRule",
+    "WallClockRule",
+    "CacheKeyRule",
+    "PoolBoundaryRule",
+    "ErrorContractRule",
+    "CounterRegistryRule",
+]
+
+
+def all_rules() -> list[Rule]:
+    """One fresh instance of every shipped rule, stable order."""
+    return [
+        DeterminismRule(),
+        WallClockRule(),
+        CacheKeyRule(),
+        PoolBoundaryRule(),
+        ErrorContractRule(),
+        CounterRegistryRule(),
+    ]

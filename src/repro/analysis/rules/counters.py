@@ -1,0 +1,121 @@
+"""Counter registry: stats keys and metric families must be declared.
+
+Exporters, ``explain()`` and dashboards read ``JoinStats.extra`` /
+``StreamStats.extra`` keys and Prometheus family names *by string*.  A
+typo at a write site ships silently: the counter is written under the
+wrong name, the reader sees zero, and nothing fails.  This rule makes
+every such name a checked reference against the committed registry
+(:mod:`repro.analysis.registry`):
+
+- subscript writes ``<x>.extra["name"] = ...`` (and ``extra["name"]``
+  on a local stats-extras dict, ``.setdefault("name", ...)``, and dict
+  literals passed to ``.extra.update({...})``) must use a key in
+  ``EXTRA_COUNTER_KEYS``;
+- string constants shaped like a metric family name (``repro_`` prefix,
+  ``[a-z0-9_]`` body) must be in ``METRIC_FAMILIES``.
+
+Writes under a *dynamic* key (``extra[key] = ...``) are invisible to
+the reader-by-string failure mode this rule targets and are skipped.
+New counters are added by registering them first — the registry entry
+doubles as the name's documentation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.engine import FileContext, Finding
+from repro.analysis.registry import EXTRA_COUNTER_KEYS, METRIC_FAMILIES
+from repro.analysis.rules.base import Rule
+
+__all__ = ["CounterRegistryRule"]
+
+_FAMILY_SHAPE = re.compile(r"repro_[a-z0-9_]+\Z")
+
+
+def _extra_target(node: ast.AST) -> bool:
+    """Whether ``node`` is an expression denoting a stats-extras dict:
+    ``<anything>.extra`` or a bare name ``extra``."""
+    if isinstance(node, ast.Attribute) and node.attr == "extra":
+        return True
+    return isinstance(node, ast.Name) and node.id == "extra"
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class CounterRegistryRule(Rule):
+    id = "counter-registry"
+    summary = (
+        "stats extra keys and repro_* metric family names must be "
+        "declared in repro.analysis.registry"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            findings.extend(self._check_node(ctx, node))
+        return findings
+
+    def _check_node(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript) and _extra_target(
+                    target.value
+                ):
+                    key = _const_str(target.slice)
+                    if key is not None and key not in EXTRA_COUNTER_KEYS:
+                        yield self._unregistered_key(ctx, node, key)
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            attr = node.func.attr
+            if attr == "setdefault" and _extra_target(node.func.value):
+                if node.args:
+                    key = _const_str(node.args[0])
+                    if key is not None and key not in EXTRA_COUNTER_KEYS:
+                        yield self._unregistered_key(ctx, node, key)
+            elif attr == "update" and _extra_target(node.func.value):
+                for arg in node.args:
+                    if isinstance(arg, ast.Dict):
+                        for key_node in arg.keys:
+                            key = (
+                                _const_str(key_node)
+                                if key_node is not None
+                                else None
+                            )
+                            if key is not None and key not in EXTRA_COUNTER_KEYS:
+                                yield self._unregistered_key(
+                                    ctx, key_node, key
+                                )
+        elif isinstance(node, ast.Constant):
+            value = node.value
+            if (
+                isinstance(value, str)
+                and _FAMILY_SHAPE.fullmatch(value)
+                and value not in METRIC_FAMILIES
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"metric family name {value!r} is not declared in "
+                    "repro.analysis.registry.METRIC_FAMILIES; register it "
+                    "(with a description) before emitting it",
+                )
+
+    def _unregistered_key(self, ctx, node, key: str) -> Finding:
+        return self.finding(
+            ctx, node,
+            f"stats extra key {key!r} is not declared in "
+            "repro.analysis.registry; register it (with a description) "
+            "so exporters and explain() can rely on the spelling",
+        )

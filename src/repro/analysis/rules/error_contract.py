@@ -1,0 +1,182 @@
+"""Error contract: typed errors only, and every one of them exported.
+
+The library promises callers a single catchable base
+(:class:`repro.errors.ReproError`) with meaningful subclasses.  Three
+things erode that promise over time, and this rule pins all of them:
+
+- **bare ``except:``** swallows ``SystemExit``/``KeyboardInterrupt`` and
+  hides typed failures; always name the exception being handled;
+- **raising builtins** (``ValueError``, ``RuntimeError``, ...) from
+  library code hands callers an exception they cannot distinguish from
+  an interpreter error; raise the typed classes (which multiply inherit
+  from the matching builtin, so ``except ValueError`` callers keep
+  working);
+- **unexported subclasses**: a ``ReproError`` subclass that is not
+  importable from the package root (or its defining module's
+  ``__all__``) cannot be caught by name — a typed error nobody can type.
+
+``NotImplementedError`` (abstract methods), ``StopIteration`` /
+``StopAsyncIteration`` (iterator protocol) and bare re-``raise`` are
+exempt: they are protocol, not error reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Project
+from repro.analysis.rules.base import Rule
+
+__all__ = ["ErrorContractRule"]
+
+# Builtins whose raising from library code is a contract violation.
+_BANNED_RAISES = frozenset({
+    "BaseException",
+    "Exception",
+    "ValueError",
+    "TypeError",
+    "RuntimeError",
+    "KeyError",
+    "IndexError",
+    "LookupError",
+    "AttributeError",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "OSError",
+    "IOError",
+    "EnvironmentError",
+    "AssertionError",
+    "TimeoutError",
+    "NameError",
+    "UnicodeDecodeError",
+    "UnicodeEncodeError",
+})
+
+
+class ErrorContractRule(Rule):
+    id = "error-contract"
+    summary = (
+        "no bare except:, no raising builtin exceptions from library "
+        "code, every ReproError subclass exported"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                findings.append(self.finding(
+                    ctx, node,
+                    "bare except: catches SystemExit/KeyboardInterrupt too; "
+                    "name the exception (ReproError for library failures)",
+                ))
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                name = None
+                if isinstance(node.exc, ast.Call) and isinstance(
+                    node.exc.func, ast.Name
+                ):
+                    name = node.exc.func.id
+                elif isinstance(node.exc, ast.Name):
+                    name = node.exc.id
+                if name in _BANNED_RAISES:
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"raising builtin {name} from library code; raise a "
+                        "typed repro.errors class instead (they subclass "
+                        "the matching builtin, so callers keep working)",
+                    ))
+        return findings
+
+    # -- export completeness -------------------------------------------------
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        base_defs = project.classes("ReproError")
+        if not base_defs:
+            return ()
+        errors_ctx, _ = base_defs[0]
+        # Transitive subclasses inside the defining module.
+        error_names = {"ReproError"}
+        grew = True
+        class_defs = [
+            node for node in ast.walk(errors_ctx.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        while grew:
+            grew = False
+            for node in class_defs:
+                if node.name in error_names:
+                    continue
+                bases = {
+                    b.id for b in node.bases if isinstance(b, ast.Name)
+                }
+                if bases & error_names:
+                    error_names.add(node.name)
+                    grew = True
+
+        findings: list[Finding] = []
+        root_init = self._package_root_init(project, errors_ctx)
+        if root_init is not None:
+            init_ctx, imported = root_init
+            for node in class_defs:
+                if node.name in error_names and node.name not in imported:
+                    findings.append(Finding(
+                        errors_ctx.display, node.lineno, self.id,
+                        f"ReproError subclass {node.name!r} is not exported "
+                        f"from {init_ctx.display}; add it to the package "
+                        "root imports",
+                    ))
+
+        # Subclasses defined outside the errors module must be named in
+        # their own module's __all__ so they are part of a public surface.
+        for ctx in project.contexts:
+            if ctx is errors_ctx:
+                continue
+            module_all = self._module_all(ctx)
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                bases = {
+                    b.id for b in node.bases if isinstance(b, ast.Name)
+                }
+                if not (bases & error_names):
+                    continue
+                if module_all is None or node.name not in module_all:
+                    findings.append(Finding(
+                        ctx.display, node.lineno, self.id,
+                        f"ReproError subclass {node.name!r} is missing from "
+                        "this module's __all__; typed errors must be "
+                        "importable by name",
+                    ))
+        return findings
+
+    @staticmethod
+    def _package_root_init(project, errors_ctx):
+        """The ``__init__`` importing from the errors module, with the set
+        of names it imports from there (``None`` when absent)."""
+        for ctx in project.contexts:
+            if not ctx.display.endswith("__init__.py"):
+                continue
+            imported: set[str] = set()
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ImportFrom) and node.module and (
+                    node.module == "errors"
+                    or node.module.endswith(".errors")
+                ):
+                    imported.update(alias.name for alias in node.names)
+            if imported:
+                return ctx, imported
+        return None
+
+    @staticmethod
+    def _module_all(ctx: FileContext):
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        if isinstance(node.value, (ast.List, ast.Tuple)):
+                            return {
+                                elt.value
+                                for elt in node.value.elts
+                                if isinstance(elt, ast.Constant)
+                            }
+        return None

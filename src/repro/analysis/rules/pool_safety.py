@@ -1,0 +1,182 @@
+"""Pool-boundary safety: only module-level callables cross the fork.
+
+Task callables handed to the multiprocessing tier — the ``func`` of
+``pool.apply_async``, the ``initializer=`` of a ``Pool``, the dispatched
+function of :class:`repro.resilience.PoolSupervisor.run` — are pickled
+into worker processes.  Lambdas and nested functions (closures) are not
+picklable; handing one over fails at dispatch time, and only on the
+code path that actually spawns workers, which is exactly the path unit
+tests most often skip.  This rule rejects them statically.
+
+Deliberately **not** flagged:
+
+- the ``pool_factory`` argument of ``PoolSupervisor(...)`` and the
+  ``fallback`` argument of ``PoolSupervisor.run(...)`` — both execute in
+  the parent process (the factory builds the pool; the fallback is the
+  serial degradation path), so closures are fine there and the executor
+  uses them on purpose;
+- ``functools.partial(...)`` — picklable when its target is; the rule
+  recurses into the target instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.engine import FileContext, Finding
+from repro.analysis.rules.base import Rule, call_name
+
+__all__ = ["PoolBoundaryRule"]
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _nested_defs_and_lambdas(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names of defs nested inside functions, and names bound to lambdas."""
+    nested: set[str] = set()
+    lambda_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and inner is not node
+                ):
+                    nested.add(inner.name)
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    lambda_names.add(target.id)
+    return nested, lambda_names
+
+
+def _supervisor_names(tree: ast.Module) -> set[str]:
+    """Names bound to ``PoolSupervisor(...)`` instances (assignments and
+    ``with PoolSupervisor(...) as name``)."""
+    names: set[str] = set()
+
+    def is_supervisor_call(value: ast.AST) -> bool:
+        return isinstance(value, ast.Call) and call_name(value).endswith(
+            "PoolSupervisor"
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and is_supervisor_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if is_supervisor_call(item.context_expr) and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    names.add(item.optional_vars.id)
+    return names
+
+
+class PoolBoundaryRule(Rule):
+    id = "pool-boundary"
+    summary = (
+        "callables crossing the fork boundary (apply_async, Pool "
+        "initializer, PoolSupervisor.run) must be module-level defs"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        tree = ctx.tree
+        module_names = _module_level_names(tree)
+        nested, lambda_names = _nested_defs_and_lambdas(tree)
+        supervisors = _supervisor_names(tree)
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if not isinstance(callee, ast.Attribute):
+                # Bare Pool(...) calls: check the initializer keyword.
+                if call_name(node).split(".")[-1] == "Pool":
+                    findings.extend(self._check_initializer(ctx, node, module_names, nested, lambda_names))
+                continue
+            if callee.attr == "apply_async" and node.args:
+                findings.extend(self._validate(
+                    ctx, node.args[0], "apply_async task",
+                    module_names, nested, lambda_names,
+                ))
+            elif callee.attr == "Pool":
+                findings.extend(self._check_initializer(
+                    ctx, node, module_names, nested, lambda_names
+                ))
+            elif callee.attr == "run" and node.args:
+                receiver = callee.value
+                is_supervisor = (
+                    isinstance(receiver, ast.Name) and receiver.id in supervisors
+                ) or (
+                    isinstance(receiver, ast.Call)
+                    and call_name(receiver).endswith("PoolSupervisor")
+                )
+                if is_supervisor:
+                    # Only the dispatched func (arg 0) crosses the fork;
+                    # the fallback (arg 2) runs in-parent by contract.
+                    findings.extend(self._validate(
+                        ctx, node.args[0], "PoolSupervisor.run task",
+                        module_names, nested, lambda_names,
+                    ))
+        return findings
+
+    def _check_initializer(
+        self, ctx, call: ast.Call, module_names, nested, lambda_names
+    ) -> Iterator[Finding]:
+        for keyword in call.keywords:
+            if keyword.arg == "initializer":
+                yield from self._validate(
+                    ctx, keyword.value, "pool initializer",
+                    module_names, nested, lambda_names,
+                )
+
+    def _validate(
+        self, ctx, node: ast.AST, role: str, module_names, nested, lambda_names
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Call) and call_name(node).split(".")[-1] == "partial":
+            if node.args:
+                yield from self._validate(
+                    ctx, node.args[0], role,
+                    module_names, nested, lambda_names,
+                )
+            return
+        if isinstance(node, ast.Lambda):
+            yield self.finding(
+                ctx, node,
+                f"lambda passed as {role}: lambdas cannot be pickled "
+                "across the fork boundary; use a module-level def",
+            )
+        elif isinstance(node, ast.Name):
+            if node.id in lambda_names and node.id not in module_names:
+                yield self.finding(
+                    ctx, node,
+                    f"{node.id!r} (bound to a lambda) passed as {role}: "
+                    "lambdas cannot cross the fork boundary; use a "
+                    "module-level def",
+                )
+            elif node.id in nested and node.id not in module_names:
+                yield self.finding(
+                    ctx, node,
+                    f"nested function {node.id!r} passed as {role}: "
+                    "closures cannot be pickled across the fork boundary; "
+                    "hoist it to module level",
+                )

@@ -202,6 +202,45 @@ baseline joins (``str_join(..., backend="numpy")``).  The contract:
   "probe_time", "index_time", "verify_time", "ted_calls", "extra"},
   "pairs": [[i, j, distance], ...]}`` (wrapped per-tau under
   ``"queries"`` when ``--tau`` repeats).
+
+Invariants
+----------
+The promises above are *enforced statically* by the AST invariant
+linter (:mod:`repro.analysis`, run as ``python -m repro.analysis``; a
+tier-1 test fails the build on any finding).  The rules, and what each
+one protects:
+
+- ``determinism`` — inside ``core/``, ``kernels/``, ``parallel/``,
+  ``stream/`` and ``ted/``: no shared global RNG or unseeded
+  ``random.Random()``, no ``id()``-keyed mappings, no iterating a set
+  straight into ordered output.  Protects the bit-identical contract
+  across backends, worker counts and processes.
+- ``wall-clock`` — ``time.time()`` / ``datetime.now()`` and friends
+  only under ``obs/`` and the benchmark harness; durations use
+  ``time.perf_counter()`` / ``time.monotonic()``.  Protects
+  reproducible stats and the observability-never-changes-results rule.
+- ``cache-key`` — every :class:`~repro.core.join.PartSJConfig` field
+  appears in ``Session._prep_key``, the snapshot config encoding and
+  ``JoinPlan._cache_key``, or on an explicit exclusion list with a
+  reason.  Protects against stale cache hits after a config grows a
+  field.
+- ``pool-boundary`` — callables handed across the fork boundary
+  (``apply_async`` tasks, pool ``initializer=``, the dispatched
+  function of ``PoolSupervisor.run``) must be module-level defs.
+  Protects against pickle failures that only fire on multi-process
+  paths.
+- ``error-contract`` — no bare ``except:``, no raising builtin
+  exceptions from library code (use :mod:`repro.errors`; the typed
+  classes subclass the matching builtin), and every ``ReproError``
+  subclass exported.  Protects the single-catchable-base promise.
+- ``counter-registry`` — stats ``extra`` keys and ``repro_*`` metric
+  family names must be declared in :mod:`repro.analysis.registry`.
+  Protects dashboards and ``explain()`` from silent typos.
+
+A deliberate violation is suppressed inline — hash sign, then
+``repro: allow[rule-id]`` plus a justification — on the offending
+line.  Pragmas are themselves linted: unknown rule ids and pragmas
+that suppress nothing are findings.
 """
 
 from __future__ import annotations

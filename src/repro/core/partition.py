@@ -68,7 +68,8 @@ def _child_arrays(binary: BinaryTree) -> tuple[list[int], list[int], list[int]]:
     """Left/right child number arrays (plus internal-node numbers) of a
     node-object tree."""
     postorder = binary.postorder()
-    number_of = {id(node): b for b, node in enumerate(postorder, start=1)}
+    # Identity -> postorder-number lookup; keys never ordered into output.
+    number_of = {id(node): b for b, node in enumerate(postorder, start=1)}  # repro: allow[determinism]
     size = len(postorder)
     left = [0] * (size + 1)
     right = [0] * (size + 1)

@@ -47,6 +47,7 @@ import enum
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.intern import EPSILON, pack_twig
+from repro.errors import InvalidParameterError
 from repro.tree.binary import BinaryNode, EdgeKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -70,7 +71,7 @@ class MatchSemantics(enum.Enum):
         try:
             return cls(value)
         except ValueError:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"unknown match semantics {value!r}; use 'paper' or 'safe'"
             ) from None
 

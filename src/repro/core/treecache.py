@@ -238,7 +238,8 @@ class TreeCache:
                 if right[b]:
                     node.set_right(nodes[right[b]])  # type: ignore[union-attr]
             self._nodes = nodes
-            self._number_of = {id(nodes[b]): b for b in range(1, n + 1)}
+            # Identity -> number lookup; keys never ordered into output.
+            self._number_of = {id(nodes[b]): b for b in range(1, n + 1)}  # repro: allow[determinism]
             tree = BinaryTree(nodes[n])  # type: ignore[arg-type]  # root is last
             # Postorder is known by construction; prime the tree's cache so
             # the compat layer costs one pass, not two.

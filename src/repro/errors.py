@@ -26,6 +26,26 @@ class InvalidParameterError(ReproError, ValueError):
     """
 
 
+class InvalidInputTypeError(ReproError, TypeError):
+    """An argument has the wrong *type* entirely.
+
+    Examples: a ``Tree`` constructed around something that is not a
+    ``TreeNode``, or indexing a lazy tree list with a non-integer.
+    Subclasses :class:`TypeError` so callers using the builtin keep
+    working.
+    """
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A span trace (JSONL export file or span table) is malformed.
+
+    Raised by the trace readers in :mod:`repro.obs.export` for lines
+    that are not JSON span objects and for span forests whose parent
+    ids do not form a tree.  Subclasses :class:`ValueError` so callers
+    using the builtin keep working.
+    """
+
+
 class EditOperationError(ReproError, ValueError):
     """A node edit operation cannot be applied to the given tree.
 
@@ -48,6 +68,15 @@ class WorkerFailureError(ReproError):
     (``degraded_serial_tasks``).  This error only **escapes** to the
     caller when the policy is exhausted *and* graceful degradation is
     disabled (``RetryPolicy(degradation=False)``).
+    """
+
+
+class WorkerStateError(ReproError, RuntimeError):
+    """A pool worker was used before its initializer installed state.
+
+    A misuse guard: worker task functions require the pool to have been
+    created with the matching ``initializer=``.  Subclasses
+    :class:`RuntimeError` so callers using the builtin keep working.
     """
 
 

@@ -28,6 +28,7 @@ import math
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
+from repro.errors import TraceFormatError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span
 
@@ -72,11 +73,11 @@ def read_jsonl(path: Union[str, Path]) -> list[dict]:
             try:
                 row = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(
+                raise TraceFormatError(
                     f"{path}:{line_no}: not a JSON span line: {exc}"
                 ) from None
             if not isinstance(row, dict) or "span_id" not in row:
-                raise ValueError(
+                raise TraceFormatError(
                     f"{path}:{line_no}: span object missing 'span_id'"
                 )
             spans.append(row)
@@ -168,10 +169,10 @@ def span_roots(spans: Iterable[Union[Span, dict]]) -> tuple[list, dict]:
         row = stack.pop()
         seen += 1
         if seen > len(rows):
-            raise ValueError("span parent ids contain a cycle")
+            raise TraceFormatError("span parent ids contain a cycle")
         stack.extend(children.get(row["span_id"], ()))
     if seen != len(rows):
-        raise ValueError("span parent ids contain a cycle")
+        raise TraceFormatError("span parent ids contain a cycle")
     return roots, children
 
 

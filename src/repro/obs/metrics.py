@@ -35,6 +35,9 @@ import threading
 from bisect import bisect_left
 from typing import Optional, Sequence
 
+from repro.analysis.registry import STREAM_FORWARDED_COUNTERS
+from repro.errors import InvalidParameterError
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -64,7 +67,7 @@ class Counter:
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
-            raise ValueError("counters only go up")
+            raise InvalidParameterError("counters only go up")
         self.value += amount
 
 
@@ -96,7 +99,9 @@ class Histogram:
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
         self.buckets = tuple(sorted(buckets))
         if not self.buckets:
-            raise ValueError("histogram needs at least one bucket bound")
+            raise InvalidParameterError(
+                "histogram needs at least one bucket bound"
+            )
         self.counts = [0] * (len(self.buckets) + 1)  # last = +Inf overflow
         self.sum = 0.0
         self.count = 0
@@ -150,7 +155,7 @@ class MetricsRegistry:
                 family = _Family(name, kind, help_text)
                 self._families[name] = family
             elif family.kind != kind:
-                raise ValueError(
+                raise InvalidParameterError(
                     f"metric {name!r} already registered as {family.kind}, "
                     f"not {kind}"
                 )
@@ -286,9 +291,7 @@ def publish_stream_stats(stats, registry: Optional[MetricsRegistry] = None,
                       phase=phase, **labels
                       ).observe(getattr(stats, f"{phase}_time"))
     extra = stats.extra or {}
-    for key in ("retries", "worker_failures", "timeouts", "verify_failures",
-                "degraded_serial_tasks", "pool_respawns", "fault_events",
-                "verify_chunks"):
+    for key in STREAM_FORWARDED_COUNTERS:
         value = extra.get(key)
         if isinstance(value, int) and not isinstance(value, bool):
             reg.counter("repro_stream_counter_total",

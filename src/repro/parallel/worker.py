@@ -25,6 +25,7 @@ from typing import Optional
 
 from repro.baselines.common import Verifier
 from repro.core.join import PartSJConfig, ShardDriver
+from repro.errors import InvalidInputTypeError, WorkerStateError
 from repro.obs.trace import span_dict
 from repro.parallel.sharding import ShardPlan, ShardResult
 from repro.resilience.faults import FaultInjector, corrupt_envelope, seal
@@ -76,7 +77,9 @@ class LazyTreeList(Sequence):
 
     def __getitem__(self, index: int) -> Tree:
         if not isinstance(index, int):
-            raise TypeError("LazyTreeList supports integer indexing only")
+            raise InvalidInputTypeError(
+                "LazyTreeList supports integer indexing only"
+            )
         tree = self._trees[index]
         if tree is None:
             tree = self._trees[index] = parse_bracket(self._brackets[index])
@@ -125,7 +128,7 @@ def init_worker(
 
 def _require_state() -> _WorkerState:
     if _STATE is None:  # pragma: no cover - misuse guard
-        raise RuntimeError(
+        raise WorkerStateError(
             "worker state not initialized; the pool must be created with "
             "initializer=init_worker"
         )
@@ -323,7 +326,9 @@ class GrowingTreeStore(Sequence):
 
     def __getitem__(self, index: int) -> Tree:
         if not isinstance(index, int):
-            raise TypeError("GrowingTreeStore supports integer indexing only")
+            raise InvalidInputTypeError(
+                "GrowingTreeStore supports integer indexing only"
+            )
         tree = self._trees.get(index)
         if tree is None:
             tree = self._trees[index] = parse_bracket(self._brackets[index])
@@ -370,7 +375,7 @@ def verify_stream_chunk(
     pair set merges to results identical to inline verification.
     """
     if _STREAM_STATE is None:  # pragma: no cover - misuse guard
-        raise RuntimeError(
+        raise WorkerStateError(
             "stream worker state not initialized; the pool must be created "
             "with initializer=init_stream_worker"
         )
@@ -396,7 +401,7 @@ def verify_stream_chunk_task(task: tuple) -> tuple:
     """
     task_id, brackets, pairs = task
     if _STREAM_STATE is None:  # pragma: no cover - misuse guard
-        raise RuntimeError(
+        raise WorkerStateError(
             "stream worker state not initialized; the pool must be created "
             "with initializer=init_stream_worker"
         )

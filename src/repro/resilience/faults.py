@@ -112,15 +112,15 @@ class FaultInjector:
             try:
                 target, _, effect = entry.partition("=")
                 if not effect:
-                    raise ValueError("missing '=kind'")
+                    raise InvalidParameterError("missing '=kind'")
                 task, at, attempt_text = target.partition("@")
                 attempt = int(attempt_text) if at else None
                 if attempt is not None and attempt < 1:
-                    raise ValueError("attempt numbers are 1-based")
+                    raise InvalidParameterError("attempt numbers are 1-based")
                 kind, colon, arg_text = effect.partition(":")
                 kind = kind.strip()
                 if kind not in _KINDS:
-                    raise ValueError(
+                    raise InvalidParameterError(
                         f"unknown fault kind {kind!r}; use one of {_KINDS}"
                     )
                 arg = float(arg_text) if colon else 0.0

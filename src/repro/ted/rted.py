@@ -66,7 +66,8 @@ def mirror_tree(tree: Tree) -> Tree:
 def _mirror_iterative(tree: Tree) -> Tree:
     twins: dict[int, TreeNode] = {}
     for node in tree.root.iter_postorder():
-        twins[id(node)] = TreeNode(
+        # Identity lookup within one traversal, never iterated.
+        twins[id(node)] = TreeNode(  # repro: allow[determinism]
             node.label, [twins[id(child)] for child in reversed(node.children)]
         )
     return Tree(twins[id(tree.root)])

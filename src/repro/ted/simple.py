@@ -46,7 +46,8 @@ def ted_reference(
         cached = sizes.get(id(node))
         if cached is None:
             cached = node.subtree_size()
-            sizes[id(node)] = cached
+            # Identity-keyed memo, never iterated — order cannot leak out.
+            sizes[id(node)] = cached  # repro: allow[determinism]
         return cached
 
     def forest_size(forest: tuple[TreeNode, ...]) -> int:

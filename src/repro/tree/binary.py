@@ -22,6 +22,8 @@ from __future__ import annotations
 import enum
 from typing import Iterator, Optional
 
+from repro.errors import InvalidInputTypeError
+
 __all__ = ["BinaryNode", "BinaryTree", "EdgeKind"]
 
 
@@ -153,7 +155,7 @@ class BinaryTree:
 
     def __init__(self, root: BinaryNode):
         if not isinstance(root, BinaryNode):
-            raise TypeError(
+            raise InvalidInputTypeError(
                 f"BinaryTree root must be a BinaryNode, got {type(root).__name__}"
             )
         self.root = root

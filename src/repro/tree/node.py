@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional
 
+from repro.errors import InvalidInputTypeError
+
 __all__ = ["TreeNode", "Tree"]
 
 
@@ -130,7 +132,9 @@ class Tree:
 
     def __init__(self, root: TreeNode):
         if not isinstance(root, TreeNode):
-            raise TypeError(f"Tree root must be a TreeNode, got {type(root).__name__}")
+            raise InvalidInputTypeError(
+                f"Tree root must be a TreeNode, got {type(root).__name__}"
+            )
         self.root = root
         self._size: Optional[int] = None
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.errors import InvalidParameterError
 from repro.tree.node import Tree, TreeNode
 
 __all__ = ["TreeStats", "CollectionStats", "tree_stats", "collection_stats"]
@@ -99,12 +100,14 @@ def collection_stats(trees: Sequence[Tree] | Iterable[Tree]) -> CollectionStats:
 
     Raises
     ------
-    ValueError
-        If the collection is empty.
+    InvalidParameterError
+        If the collection is empty (a :class:`ValueError` subclass).
     """
     trees = list(trees)
     if not trees:
-        raise ValueError("cannot compute statistics of an empty collection")
+        raise InvalidParameterError(
+            "cannot compute statistics of an empty collection"
+        )
     labels: set[str] = set()
     sizes: list[int] = []
     avg_depths: list[float] = []

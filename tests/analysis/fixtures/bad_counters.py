@@ -1,0 +1,11 @@
+"""Fixture: counter names nobody registered."""
+
+
+def publish(stats, reg):
+    stats.extra["bogus_counter"] = 1
+    stats.extra.update({"another_bogus": 2})
+    stats.extra.setdefault("sneaky_default", 0)
+    extra = {}
+    extra["mystery"] = 3
+    reg.counter("repro_bogus_total", "never registered").inc()
+    return extra

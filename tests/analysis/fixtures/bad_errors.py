@@ -1,0 +1,20 @@
+"""Fixture: bare except and builtin raises."""
+
+
+def careless(fn):
+    try:
+        return fn()
+    except:
+        return None
+
+
+def validate(x):
+    if x < 0:
+        raise ValueError("negative")
+    return x
+
+
+def guard(state):
+    if state is None:
+        raise RuntimeError("not initialized")
+    return state

@@ -1,0 +1,30 @@
+"""Fixture: determinism violations inside a core/ directory."""
+import random
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def rng():
+    return random.Random()
+
+
+def table(nodes):
+    return {id(n): i for i, n in enumerate(nodes)}
+
+
+def ordered(values):
+    return list({v for v in values})
+
+
+def loop():
+    out = []
+    for p in {1, 2, 3}:
+        out.append(p)
+    return out
+
+
+def store(registry, node):
+    registry[id(node)] = node
+    return registry

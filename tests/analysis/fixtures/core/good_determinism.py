@@ -1,0 +1,18 @@
+"""Fixture: determinism-clean core/ code, including a justified pragma."""
+import random
+
+
+def pick(items, seed):
+    return random.Random(seed).choice(items)
+
+
+def table(nodes):
+    return {id(n): i for i, n in enumerate(nodes)}  # repro: allow[determinism] identity lookup, never iterated
+
+
+def ordered(values):
+    return sorted({v for v in values})
+
+
+def loop():
+    return [p for p in sorted({3, 1, 2})]

@@ -1,0 +1,11 @@
+"""Fixture: a pragma silences exactly one rule on exactly one line."""
+import random
+import time
+
+
+def reseed():
+    random.seed(time.time())  # repro: allow[determinism] fixture: wall-clock must still fire
+
+
+def still_reported(items):
+    return random.choice(items)

@@ -1,0 +1,5 @@
+"""Fixture package root: imports every error except ForgottenError."""
+
+from errlib.errors import KnownError, ReproError
+
+__all__ = ["ReproError", "KnownError"]

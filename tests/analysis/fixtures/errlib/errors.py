@@ -1,0 +1,13 @@
+"""Fixture: an errors module whose last subclass is never exported."""
+
+
+class ReproError(Exception):
+    pass
+
+
+class KnownError(ReproError):
+    pass
+
+
+class ForgottenError(ReproError):
+    pass

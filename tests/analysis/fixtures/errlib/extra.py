@@ -1,0 +1,13 @@
+"""Fixture: subclasses outside the errors module, with and without __all__."""
+
+from errlib.errors import ReproError
+
+__all__ = ["ListedError"]
+
+
+class ListedError(ReproError):
+    pass
+
+
+class StrayError(ReproError):
+    pass

@@ -1,0 +1,10 @@
+"""Fixture: every written name is in the committed registry."""
+
+
+def publish(stats, reg):
+    stats.extra["probe_hits"] = 1
+    stats.extra.update({"workers": 2})
+    reg.counter("repro_join_runs_total", "Joins published").inc()
+    key = "dynamic_" + "name"
+    stats.extra[key] = 3  # dynamic keys are out of this rule's reach
+    return stats

@@ -1,0 +1,11 @@
+"""Fixture: the identical wall-clock reads are legitimate under obs/."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def today():
+    return datetime.now()

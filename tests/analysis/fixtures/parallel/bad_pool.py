@@ -1,0 +1,28 @@
+"""Fixture: callables that cannot cross the fork boundary."""
+from functools import partial
+from multiprocessing import Pool
+
+from repro.resilience import PoolSupervisor
+
+
+def run_all(tasks):
+    supervisor = PoolSupervisor(lambda: Pool(2))
+    return supervisor.run(lambda t: t, tasks, None)
+
+
+def submit(pool, item):
+    return pool.apply_async(lambda x: x, (item,))
+
+
+def make_pool():
+    return Pool(2, initializer=lambda: None)
+
+
+def dispatch(pool, item):
+    def helper(x):
+        return x
+    return pool.apply_async(helper, (item,))
+
+
+def dispatch_partial(pool, item):
+    return pool.apply_async(partial(lambda x, y: x, 1), (item,))

@@ -1,0 +1,23 @@
+"""Fixture: fork-safe dispatch — module-level defs and exempt closures."""
+from functools import partial
+from multiprocessing import Pool
+
+from repro.resilience import PoolSupervisor
+
+
+def task(x):
+    return x
+
+
+def run_all(tasks):
+    # The factory and the fallback both execute in-parent: exempt.
+    supervisor = PoolSupervisor(lambda: Pool(2))
+    return supervisor.run(task, tasks, lambda t: t)
+
+
+def submit(pool, item):
+    return pool.apply_async(partial(task, 1), (item,))
+
+
+def make_pool():
+    return Pool(2, initializer=task)

@@ -1,0 +1,4 @@
+"""Fixture: pragma bookkeeping — unknown ids and unused pragmas."""
+
+A = 1  # repro: allow[no-such-rule]
+B = 2  # repro: allow[determinism]

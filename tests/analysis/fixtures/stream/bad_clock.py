@@ -1,0 +1,11 @@
+"""Fixture: wall-clock reads outside obs/ and benchmarks."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def today():
+    return datetime.now()

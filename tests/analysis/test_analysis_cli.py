@@ -1,0 +1,74 @@
+"""The ``python -m repro.analysis`` entry point: exits, JSON, filters."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main([str(SRC / "repro" / "analysis")]) == 0
+        assert "clean:" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main([str(FIXTURES / "stream")]) == 1
+        out = capsys.readouterr().out
+        assert "[wall-clock]" in out
+        assert "bad_clock.py:7" in out
+
+    def test_unknown_rule_id_exits_two(self, capsys):
+        assert main(["--rule", "no-such-rule", str(FIXTURES)]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main([str(FIXTURES / "does-not-exist")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestFilters:
+    def test_rule_filter_keeps_only_named_rule(self, capsys):
+        assert main(["--rule", "wall-clock", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        assert "[wall-clock]" in out
+        assert "[determinism]" not in out
+        assert "[pool-boundary]" not in out
+
+    def test_path_filter_substring(self, capsys):
+        assert main(["--path", "good_", str(FIXTURES)]) == 0
+        assert "clean:" in capsys.readouterr().out
+
+
+class TestJson:
+    def test_json_report_shape(self, capsys):
+        assert main(["--json", str(FIXTURES / "stream")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["files"] == 1
+        finding = payload["findings"][0]
+        assert set(finding) == {"file", "line", "rule", "message"}
+        assert finding["rule"] == "wall-clock"
+
+    def test_list_rules_json(self, capsys):
+        assert main(["--list-rules", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        ids = [rule["id"] for rule in payload["rules"]]
+        assert "determinism" in ids and "cache-key" in ids
+        assert "unused-pragma" in payload["meta"]
+
+
+class TestModuleInvocation:
+    def test_python_dash_m_smoke(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis",
+             str(SRC / "repro" / "analysis" / "registry.py")],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean:" in proc.stdout

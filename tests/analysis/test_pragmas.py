@@ -1,0 +1,88 @@
+"""Suppression pragma semantics: precision, bookkeeping, immunity."""
+
+from pathlib import Path
+
+from repro.analysis import analyze
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+class TestPragmaPrecision:
+    def test_pragma_silences_exactly_one_rule_on_one_line(self):
+        # Line 7 violates BOTH determinism (random.seed) and wall-clock
+        # (time.time) — the allow[determinism] pragma must keep the
+        # wall-clock finding and the line-11 determinism finding alive.
+        report = analyze([FIXTURES / "core" / "pragma_precision.py"])
+        assert [(f.rule, f.line) for f in report.findings] == [
+            ("wall-clock", 7),
+            ("determinism", 11),
+        ]
+
+    def test_used_pragma_is_not_reported_unused(self):
+        report = analyze([FIXTURES / "core" / "good_determinism.py"])
+        assert report.clean, report.render()
+
+    def test_pragma_only_acts_on_its_own_line(self, tmp_path):
+        scoped = tmp_path / "core"
+        scoped.mkdir()
+        target = scoped / "mod.py"
+        target.write_text(
+            "import random\n"
+            "# repro: allow[determinism] wrong line\n"
+            "x = random.random()\n"
+        )
+        report = analyze([target])
+        rules = [f.rule for f in report.findings]
+        # The violation survives AND the misplaced pragma reads as unused.
+        assert "determinism" in rules
+        assert "unused-pragma" in rules
+
+
+class TestPragmaBookkeeping:
+    def test_unknown_id_and_unused_pragma_are_findings(self):
+        report = analyze([FIXTURES / "pragmas.py"])
+        assert [(f.rule, f.line) for f in report.findings] == [
+            ("pragma", 3),
+            ("unused-pragma", 4),
+        ]
+        assert "no-such-rule" in report.findings[0].message
+
+    def test_meta_findings_cannot_be_suppressed(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "# repro: allow[no-such-rule]  # repro: allow[pragma]\n"
+        )
+        report = analyze([target])
+        rules = sorted(f.rule for f in report.findings)
+        # The unknown-id finding stands despite the allow[pragma] attempt
+        # (which, being aimed at a meta rule, is itself flagged unknown).
+        assert rules == ["pragma", "pragma"]
+
+    def test_pragma_examples_in_docstrings_are_ignored(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            '"""Docs may quote `# repro: allow[determinism]` freely."""\n'
+            "x = 1\n"
+        )
+        report = analyze([target])
+        assert report.clean, report.render()
+
+    def test_unused_pragma_not_judged_when_rule_deselected(self, tmp_path):
+        scoped = tmp_path / "core"
+        scoped.mkdir()
+        target = scoped / "mod.py"
+        target.write_text("x = 1  # repro: allow[determinism] future use\n")
+        # Full battery: unused. Battery without determinism: not judged.
+        assert [f.rule for f in analyze([target]).findings] == [
+            "unused-pragma"
+        ]
+        assert analyze([target], rule_ids=["wall-clock"]).clean
+
+
+class TestParseFindings:
+    def test_syntax_error_reported_as_parse_finding(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def half(:\n")
+        report = analyze([target])
+        assert [f.rule for f in report.findings] == ["parse"]
+        assert report.findings[0].line == 1

@@ -49,8 +49,10 @@ EXPECTED_EXPORTS = {
     "RetryPolicy", "FaultInjector",
     # errors
     "ReproError", "TreeFormatError", "InvalidParameterError",
+    "InvalidInputTypeError", "TraceFormatError",
     "EditOperationError", "NotPartitionableError",
-    "WorkerFailureError", "TaskTimeoutError", "IngestError",
+    "WorkerFailureError", "WorkerStateError", "TaskTimeoutError",
+    "IngestError",
     # persistence errors
     "PersistenceError", "SnapshotFormatError", "SnapshotIntegrityError",
     "StaleSnapshotError", "WALCorruptError",
